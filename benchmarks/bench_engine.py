@@ -1,0 +1,54 @@
+"""Micro-benchmarks: simulator throughput (not a paper artefact).
+
+Measures end-to-end simulation speed (events/second) for each scheduler
+family and the scaling of the EASY scheduling pass, to document the
+cost structure of the testbed itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.correct import IncrementalCorrector
+from repro.predict import RecentAveragePredictor, RequestedTimePredictor
+from repro.sched import make_scheduler
+from repro.sim import Simulator
+from repro.workload import get_trace
+
+from conftest import bench_n_jobs
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_trace("KTH-SP2", n_jobs=min(bench_n_jobs(), 1500))
+
+
+@pytest.mark.parametrize("scheduler_name", ["fcfs", "easy", "easy-sjbf", "conservative"])
+def test_engine_throughput(trace, scheduler_name, benchmark):
+    def run():
+        sim = Simulator(
+            trace,
+            make_scheduler(scheduler_name),
+            RequestedTimePredictor(),
+        )
+        result = sim.run()
+        return len(result)
+
+    n_jobs = benchmark(run)
+    assert n_jobs == len(trace)
+
+
+def test_engine_with_corrections_throughput(trace, benchmark):
+    """AVE2 + incremental: the correction-heavy path (EXPIRE events)."""
+
+    def run():
+        sim = Simulator(
+            trace,
+            make_scheduler("easy-sjbf"),
+            RecentAveragePredictor(2),
+            IncrementalCorrector(),
+        )
+        return sim.run().total_corrections()
+
+    corrections = benchmark(run)
+    assert corrections > 0

@@ -1,0 +1,64 @@
+"""Figure 1 -- the shape of the asymmetric loss function.
+
+The paper plots L(x, f, p) against the prediction error f - p for the
+example gamma = 1, squared branch on over-prediction, linear branch on
+under-prediction.  We regenerate the curve, render it in ASCII and assert
+its defining properties (zero at a perfect prediction, quadratic growth
+on one side, linear on the other).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predict.loss import LossSpec
+
+from conftest import write_artifact
+
+
+def render_loss_curve(spec: LossSpec, p: float, q: float, width=64, height=16) -> str:
+    errors = np.linspace(-2.0, 2.0, width)
+    values = np.array([spec.value(p + e, p, q) for e in errors])
+    top = values.max() or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for col, v in enumerate(values):
+        row = height - 1 - int(round(v / top * (height - 1)))
+        grid[row][col] = "*"
+    lines = ["".join(r) for r in grid]
+    axis = "-" * (width // 2) + "+" + "-" * (width - width // 2 - 1)
+    return "\n".join(lines) + "\n" + axis + "\n" + "underprediction".ljust(width // 2) + "overprediction"
+
+
+def test_fig1(benchmark):
+    # unit-weight spec: gamma == 1 requires q*p == e for large-area; use
+    # the constant weight to match the figure's gamma_j = 1.
+    spec = LossSpec(over="squared", under="linear", weight="constant")
+    p, q = 100.0, 4.0
+
+    chart = render_loss_curve(spec, p, q)
+    header = (
+        "Figure 1: asymmetric loss, gamma=1, squared over-prediction branch,\n"
+        "linear under-prediction branch (value vs prediction error f - p)\n"
+    )
+    print("\n" + write_artifact("fig1.txt", header + chart))
+
+    # Defining properties of the figure's curve:
+    assert spec.value(p, p, q) == 0.0
+    # over-prediction branch is quadratic: L(p + 2z) = 4 L(p + z)
+    assert spec.value(p + 2.0, p, q) == 4.0 * spec.value(p + 1.0, p, q)
+    # under-prediction branch is linear: L(p - 2z) = 2 L(p - z)
+    assert spec.value(p - 2.0, p, q) == 2.0 * spec.value(p - 1.0, p, q)
+    # continuity at zero error
+    assert abs(spec.value(p + 1e-9, p, q) - spec.value(p - 1e-9, p, q)) < 1e-6
+
+    # Benchmark: loss + gradient evaluation over a grid (the inner loop of
+    # online training).
+    errors = np.linspace(-3600.0, 3600.0, 10_000)
+
+    def evaluate_grid():
+        total = 0.0
+        for e in errors:
+            total += spec.value(p + e, p, q) + spec.gradient(p + e, p, q)
+        return total
+
+    benchmark(evaluate_grid)

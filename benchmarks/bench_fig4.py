@@ -1,0 +1,60 @@
+"""Figure 4 -- ECDF of prediction errors on the Curie-class log.
+
+Series: E-Loss regression, Requested Time, squared-loss regression and
+AVE2.  Shapes: the E-Loss curve sits left of the squared-loss curve
+(more under-prediction, by design of the asymmetric loss); Requested
+Time never under-predicts, so its ECDF is 0 for negative errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import ascii_ecdf_chart
+
+from conftest import write_artifact
+
+HOUR = 3600.0
+
+
+def test_fig4(curie_prediction_analysis, benchmark):
+    analysis, _result, _procs = curie_prediction_analysis
+    errors = {name: analysis.errors(name) / HOUR for name in analysis.predictions}
+
+    chart = ascii_ecdf_chart(
+        errors,
+        x_min=-24.0,
+        x_max=24.0,
+        x_label="prediction error, hours (f - p)",
+    )
+    header = "Figure 4: ECDF of prediction errors (Curie-class log)\n"
+    print("\n" + write_artifact("fig4.txt", header + chart))
+
+    eloss = analysis.errors("E-Loss Regression")
+    squared = analysis.errors("Squared Loss Regression")
+    requested = analysis.errors("Requested Time")
+
+    # Shape 1: Requested Time is an upper bound -- never under-predicts.
+    assert (requested >= -1e-9).all()
+
+    # Shape 2: the E-Loss ECDF is left-shifted vs squared loss: strictly
+    # more mass below zero (the paper's "more under-prediction errors").
+    under_eloss = float(np.mean(eloss < 0))
+    under_squared = float(np.mean(squared < 0))
+    assert under_eloss > under_squared, (
+        f"E-Loss under-prediction rate {under_eloss:.2f} must exceed "
+        f"squared-loss rate {under_squared:.2f}"
+    )
+
+    # Shape 3: E-Loss under-predicts the majority of jobs.
+    assert under_eloss > 0.5
+
+    # Benchmark: ECDF evaluation over a fine grid for all four series.
+    grid = np.linspace(-24.0, 24.0, 2000)
+
+    def evaluate_ecdfs():
+        from repro.metrics import ecdf_at
+
+        return {name: ecdf_at(v, grid) for name, v in errors.items()}
+
+    benchmark(evaluate_ecdfs)

@@ -1,0 +1,57 @@
+"""Figure 5 -- ECDF of the predicted values themselves (Curie-class log).
+
+Series: the actual runtimes plus every prediction technique.  Shapes:
+the E-Loss model is strongly biased toward small predictions (its ECDF
+rises fastest); Requested Time produces the largest values (rightmost
+curve); the actual-value curve sits between them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics import ascii_ecdf_chart
+
+from conftest import write_artifact
+
+HOUR = 3600.0
+
+
+def test_fig5(curie_prediction_analysis, benchmark):
+    analysis, result, _procs = curie_prediction_analysis
+    series = {"Actual value": analysis.runtimes / HOUR}
+    for name, values in analysis.predictions.items():
+        series[name] = values / HOUR
+
+    chart = ascii_ecdf_chart(
+        series,
+        x_min=0.0,
+        x_max=24.0,
+        x_label="predicted value, hours",
+    )
+    header = "Figure 5: ECDF of predicted values (Curie-class log)\n"
+    print("\n" + write_artifact("fig5.txt", header + chart))
+
+    def median(name: str) -> float:
+        return float(np.median(series[name]))
+
+    # Shape 1: the E-Loss model is biased towards small predictions --
+    # its median prediction is below the median actual value.
+    assert median("E-Loss Regression") <= median("Actual value") + 1e-9
+
+    # Shape 2: requested times are the largest values of all series.
+    for name in series:
+        if name != "Requested Time":
+            assert median("Requested Time") >= median(name), name
+
+    # Shape 3: the E-Loss curve dominates (is above) the requested-time
+    # curve everywhere: for any threshold, more E-Loss predictions fall
+    # below it.
+    from repro.metrics import ecdf_at
+
+    grid = np.linspace(0.0, 24.0, 200)
+    ecdf_eloss = ecdf_at(series["E-Loss Regression"], grid)
+    ecdf_req = ecdf_at(series["Requested Time"], grid)
+    assert (ecdf_eloss >= ecdf_req - 1e-9).all()
+
+    benchmark(lambda: {name: np.median(v) for name, v in series.items()})

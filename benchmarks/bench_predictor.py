@@ -1,0 +1,80 @@
+"""Micro-benchmarks: prediction pipeline throughput (not a paper artefact).
+
+Measures the per-job cost of the ML pipeline's stages -- feature
+extraction, polynomial expansion, NAG updates -- which is the overhead a
+production job manager would pay at submission and completion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.predict import E_LOSS, MLPredictor, NagOptimizer
+from repro.predict.base import UserHistoryTracker
+from repro.predict.basis import PolynomialBasis
+from repro.predict.features import N_FEATURES, extract_features
+from repro.sim.results import JobRecord
+from repro.workload import get_trace
+
+from conftest import bench_n_jobs
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_trace("Curie", n_jobs=min(bench_n_jobs(), 1500))
+
+
+def test_feature_extraction_throughput(trace, benchmark):
+    def extract_all():
+        tracker = UserHistoryTracker()
+        total = 0.0
+        for job in trace:
+            x = extract_features(job, tracker, job.submit_time)
+            tracker.on_submit(job, job.submit_time)
+            total += x[0]
+        return total
+
+    benchmark(extract_all)
+
+
+def test_basis_expansion_throughput(benchmark):
+    basis = PolynomialBasis(N_FEATURES)
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(0, 1e4, size=(500, N_FEATURES))
+
+    def expand_all():
+        return sum(basis.expand(x)[0] for x in xs)
+
+    benchmark(expand_all)
+
+
+def test_nag_update_throughput(benchmark):
+    basis = PolynomialBasis(N_FEATURES)
+    rng = np.random.default_rng(0)
+    phis = [basis.expand(x) for x in rng.uniform(0, 1e4, size=(500, N_FEATURES))]
+    targets = rng.uniform(60, 86400, size=500)
+
+    def train():
+        opt = NagOptimizer(basis.dim, eta=0.5)
+        for phi, y in zip(phis, targets):
+            pred = opt.predict(phi)
+            opt.update(phi, 2.0 * (pred - y))
+        return opt.t
+
+    assert benchmark(train) == 500
+
+
+def test_full_ml_predictor_throughput(trace, benchmark):
+    """Whole pipeline per job: predict at submit, learn at completion."""
+
+    def run_stream():
+        pred = MLPredictor(E_LOSS)
+        for job in trace:
+            rec = JobRecord(job=job)
+            pred.predict(rec, job.submit_time)
+            pred.on_start(rec, job.submit_time)
+            pred.on_finish(rec, job.submit_time + job.runtime)
+        return pred.n_updates
+
+    assert benchmark(run_stream) == len(trace)

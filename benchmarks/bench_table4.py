@@ -1,0 +1,63 @@
+"""Table 4 -- the workload-log inventory, and synthesis fidelity checks.
+
+The published metadata is reproduced verbatim from the archive module;
+the benchmark additionally verifies that every synthetic stand-in
+realises its calibration targets (job count exact, offered load near
+target, multiple users, heavy requested-time over-estimation) and times
+trace synthesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.reporting import format_table
+from repro.workload import ARCHIVE, get_trace, synthesize, table4_rows
+from repro.workload.archive import stable_seed
+
+from conftest import bench_n_jobs, write_artifact
+
+
+def test_table4(benchmark):
+    rows = table4_rows()
+    table = format_table(
+        ["Name", "Year", "# CPUs", "# Jobs", "Duration"],
+        rows,
+        title="Table 4: workload logs (published metadata, verbatim)",
+    )
+    lines = [table, "", "Synthetic stand-ins (simulation-sized subsets):"]
+    n = min(bench_n_jobs(), 1500)
+    detail_rows = []
+    for name, spec in ARCHIVE.items():
+        trace = get_trace(name, n_jobs=n)
+        stats = trace.stats()
+        detail_rows.append(
+            (
+                name,
+                stats.processors,
+                stats.n_jobs,
+                f"{stats.duration / 86400:.1f}d",
+                f"{stats.offered_load:.2f}",
+                stats.n_users,
+                f"{stats.mean_overestimation:.0f}x",
+            )
+        )
+        # Fidelity assertions per log.
+        assert stats.n_jobs == n
+        assert stats.n_users >= 5
+        assert stats.offered_load > 0.45
+        assert stats.mean_overestimation > 2.0
+    lines.append(
+        format_table(
+            ["Log", "m(sim)", "jobs", "span", "load", "users", "req/actual"],
+            detail_rows,
+        )
+    )
+    print("\n" + write_artifact("table4.txt", "\n".join(lines)))
+
+    model = ARCHIVE["KTH-SP2"].model.resized(n)
+
+    def synthesize_kth():
+        return synthesize(model, seed=stable_seed("KTH-SP2"))
+
+    benchmark(synthesize_kth)

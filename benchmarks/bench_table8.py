@@ -1,0 +1,67 @@
+"""Table 8 -- MAE vs mean E-Loss of the prediction techniques (Curie).
+
+Paper's values (seconds):
+
+    Technique        MAE     Mean E-Loss
+    AVE2             5217    10.2e8
+    E-Loss learning  6762    2.35e5
+
+Shape: AVE2 is competitive (or better) on symmetric MAE yet loses to the
+E-Loss-trained model by *orders of magnitude* on the scheduling-aware
+E-Loss -- accuracy and usefulness for backfilling are different things.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prediction_analysis import table8_rows
+from repro.core.reporting import format_table
+from repro.predict import E_LOSS, MLPredictor
+
+from conftest import write_artifact
+
+
+def test_table8(curie_prediction_analysis, benchmark):
+    analysis, result, processors = curie_prediction_analysis
+    rows = table8_rows(analysis, processors)
+    rendered = [
+        (name, f"{mae:.0f}", f"{eloss:.3g}") for name, mae, eloss in rows
+    ]
+    table = format_table(
+        ["Prediction Technique", "MAE (s)", "Mean E-Loss"],
+        rendered,
+        title="Table 8: prediction error vs E-Loss on the Curie-class log "
+        "(paper: AVE2 MAE 5217 / E-Loss 10.2e8; learning MAE 6762 / 2.35e5)",
+    )
+    print("\n" + write_artifact("table8.txt", table))
+
+    scores = {name: (mae, eloss) for name, mae, eloss in rows}
+    ave2_mae, ave2_eloss = scores["AVE2"]
+    ml_mae, ml_eloss = scores["E-Loss Regression"]
+
+    # Shape 1: the E-Loss model crushes AVE2 on the E-Loss metric.
+    assert ml_eloss < ave2_eloss / 10.0, (
+        f"E-Loss learning ({ml_eloss:.3g}) must beat AVE2 ({ave2_eloss:.3g}) "
+        "by a wide margin on mean E-Loss"
+    )
+    # Shape 2: on plain MAE the two are within the same order of magnitude
+    # (the paper's AVE2 is somewhat better; either may win on a synthetic
+    # draw, but the E-Loss model must not dominate both metrics).
+    assert ml_mae < ave2_mae * 10.0 and ave2_mae < ml_mae * 10.0
+
+    # Benchmark: online predictor throughput (predict + learn) -- the cost
+    # a production scheduler would pay per job.
+    from repro.sim.results import JobRecord
+    from repro.workload import Job
+
+    def train_predictor():
+        pred = MLPredictor(E_LOSS)
+        for i, rec in enumerate(result):
+            clone = JobRecord(job=rec.job)
+            pred.predict(clone, rec.submit_time)
+            pred.on_start(clone, rec.submit_time)
+            pred.on_finish(clone, rec.submit_time + rec.runtime)
+        return pred.n_updates
+
+    benchmark(train_predictor)

@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive inputs (the 128-triple campaign, the prediction analysis)
+are computed once per session and cached on disk under
+``benchmarks/.cache/``, so the whole harness re-runs instantly once the
+campaign has been simulated.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_JOBS``      -- jobs per synthetic log (default 2000);
+* ``REPRO_BENCH_REPLICAS``  -- trace replicas per log (default 5);
+* ``REPRO_BENCH_FULL=1``    -- preset for a heavier run (3000 jobs).
+
+Every benchmark writes its rendered table/figure to
+``benchmarks/out/<name>.txt`` so the paper-versus-measured record in
+EXPERIMENTS.md can be regenerated from artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import CampaignConfig, analyze_predictions, run_campaign
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+CACHE_DIR = os.path.join(_HERE, ".cache")
+OUT_DIR = os.path.join(_HERE, "out")
+
+
+def bench_n_jobs() -> int:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return int(os.environ.get("REPRO_BENCH_JOBS", "3000"))
+    return int(os.environ.get("REPRO_BENCH_JOBS", "2000"))
+
+
+def bench_replicas() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPLICAS", "5"))
+
+
+def write_artifact(name: str, content: str) -> str:
+    """Store a rendered table/figure under benchmarks/out/ and return it."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content if content.endswith("\n") else content + "\n")
+    return content
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The full 6-log x 130-triple campaign (cached on disk)."""
+    config = CampaignConfig(n_jobs=bench_n_jobs(), replicas=bench_replicas())
+    cache_path = os.path.join(
+        CACHE_DIR, f"campaign_n{config.n_jobs}_r{config.replicas}.json"
+    )
+    return run_campaign(config, cache_path=cache_path, progress=True)
+
+
+@pytest.fixture(scope="session")
+def curie_prediction_analysis():
+    """Prediction replay on the Curie-class log (Table 8, Figs 4-5)."""
+    return analyze_predictions(log="Curie", n_jobs=bench_n_jobs())

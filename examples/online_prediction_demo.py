@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Watch the online predictor learn a user's behaviour job by job.
+
+Builds the full prediction pipeline by hand -- Table 2 features, degree-2
+polynomial basis, NAG optimiser, E-Loss -- and feeds it a single
+repetitive user with occasional failures, printing how predictions
+converge and how the asymmetric loss biases them below the truth.
+
+Run: ``python examples/online_prediction_demo.py``
+"""
+
+import numpy as np
+
+from repro.predict import E_LOSS, MLPredictor
+from repro.sim.results import JobRecord
+from repro.workload import Job
+
+
+def make_job(job_id: int, submit: float, runtime: float) -> Job:
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        runtime=runtime,
+        processors=8,
+        requested_time=4 * 3600.0,  # the user always asks for 4 hours
+        user=1,
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    predictor = MLPredictor(E_LOSS)
+
+    print("user behaviour: ~45 min jobs (lognormal), 5% crash early;")
+    print("requested time: always 4 hours\n")
+    print(f"{'job':>4s} {'actual(s)':>10s} {'predicted(s)':>13s} {'error':>9s}")
+
+    now = 0.0
+    shown = {1, 2, 3, 5, 10, 20, 40, 80, 120, 160, 200}
+    errors_late = []
+    for i in range(1, 201):
+        runtime = float(np.clip(rng.lognormal(np.log(2700.0), 0.35), 60, 14000))
+        if rng.random() < 0.05:
+            runtime = float(rng.uniform(20.0, 120.0))  # crash
+        job = make_job(i, now, runtime)
+        record = JobRecord(job=job)
+        predicted = predictor.predict(record, now)
+        predictor.on_start(record, now)
+        predictor.on_finish(record, now + runtime)
+        if i in shown:
+            print(f"{i:4d} {runtime:10.0f} {predicted:13.0f} {predicted - runtime:+9.0f}")
+        if i > 100:
+            errors_late.append(predicted - runtime)
+        now += runtime + rng.uniform(60, 900)
+
+    errors_late = np.array(errors_late)
+    print(f"\nafter 100 warm-up jobs:")
+    print(f"  median prediction error : {np.median(errors_late):+.0f} s")
+    print(f"  under-prediction rate   : {np.mean(errors_late < 0):.0%}")
+    print(
+        "\nThe E-Loss penalises over-prediction quadratically but"
+        "\nunder-prediction only linearly, so the learned predictions sit"
+        "\ndeliberately below the actual runtimes -- which is what lets"
+        "\nEASY-SJBF backfill aggressively (paper Section 6.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

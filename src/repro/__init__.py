@@ -1,0 +1,153 @@
+"""repro: reproduction of "Improving Backfilling by using Machine Learning
+to predict Running Times" (Gaussier, Glesser, Reis & Trystram, SC 2015).
+
+Public API tour
+---------------
+
+Workloads::
+
+    from repro import get_trace, load_swf, Trace
+    trace = get_trace("KTH-SP2", n_jobs=2000)   # calibrated synthetic log
+
+Simulation of one heuristic triple::
+
+    from repro import simulate, EasyScheduler, MLPredictor, E_LOSS
+    from repro import IncrementalCorrector
+    result = simulate(trace, EasyScheduler("sjbf"), MLPredictor(E_LOSS),
+                      IncrementalCorrector())
+    print(result.avebsld())
+
+The paper's campaign and analyses::
+
+    from repro import CampaignConfig, run_campaign, leave_one_out
+    campaign = run_campaign(CampaignConfig(n_jobs=1500, replicas=2))
+    for row in campaign.table1_rows():
+        print(row)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core import (
+    EASY_TRIPLE,
+    EASYPP_TRIPLE,
+    ELOSS_TRIPLE,
+    CampaignConfig,
+    CampaignResult,
+    HeuristicTriple,
+    analyze_predictions,
+    average_reductions,
+    campaign_triples,
+    leave_one_out,
+    run_campaign,
+    run_triple,
+    run_triple_on_trace,
+    selection_consensus,
+)
+from .correct import (
+    Corrector,
+    IncrementalCorrector,
+    RecursiveDoublingCorrector,
+    RequestedTimeCorrector,
+    make_corrector,
+)
+from .metrics import (
+    average_bounded_slowdown,
+    bounded_slowdowns,
+    ecdf,
+    mean_absolute_error,
+    mean_loss,
+    pearson,
+)
+from .predict import (
+    E_LOSS,
+    SQUARED_LOSS,
+    ClairvoyantPredictor,
+    LossSpec,
+    MLPredictor,
+    NagOptimizer,
+    Predictor,
+    RecentAveragePredictor,
+    RequestedTimePredictor,
+    all_loss_specs,
+    make_predictor,
+)
+from .sched import (
+    ConservativeScheduler,
+    EasyScheduler,
+    FcfsScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from .sim import Machine, SimulationResult, Simulator, simulate
+from .workload import (
+    ARCHIVE,
+    LOG_NAMES,
+    Job,
+    Trace,
+    WorkloadModel,
+    get_trace,
+    load_swf,
+    save_swf,
+    synthesize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EASY_TRIPLE",
+    "EASYPP_TRIPLE",
+    "ELOSS_TRIPLE",
+    "CampaignConfig",
+    "CampaignResult",
+    "HeuristicTriple",
+    "analyze_predictions",
+    "average_reductions",
+    "campaign_triples",
+    "leave_one_out",
+    "run_campaign",
+    "run_triple",
+    "run_triple_on_trace",
+    "selection_consensus",
+    "Corrector",
+    "IncrementalCorrector",
+    "RecursiveDoublingCorrector",
+    "RequestedTimeCorrector",
+    "make_corrector",
+    "average_bounded_slowdown",
+    "bounded_slowdowns",
+    "ecdf",
+    "mean_absolute_error",
+    "mean_loss",
+    "pearson",
+    "E_LOSS",
+    "SQUARED_LOSS",
+    "ClairvoyantPredictor",
+    "LossSpec",
+    "MLPredictor",
+    "NagOptimizer",
+    "Predictor",
+    "RecentAveragePredictor",
+    "RequestedTimePredictor",
+    "all_loss_specs",
+    "make_predictor",
+    "ConservativeScheduler",
+    "EasyScheduler",
+    "FcfsScheduler",
+    "Scheduler",
+    "make_scheduler",
+    "Machine",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "ARCHIVE",
+    "LOG_NAMES",
+    "Job",
+    "Trace",
+    "WorkloadModel",
+    "get_trace",
+    "load_swf",
+    "save_swf",
+    "synthesize",
+    "__version__",
+]

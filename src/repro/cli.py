@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro logs                       # list the archive logs (Table 4)
+    repro synth --log Curie out.swf  # write a synthetic SWF file
+    repro sim --log KTH-SP2 --predictor ml:sq-lin-large-area \\
+              --corrector incremental --scheduler easy-sjbf
+    repro campaign --n-jobs 1500 --replicas 2 --cache camp.json
+    repro table --which 1|6|7|8      # print a paper table reproduction
+
+``python -m repro`` works as well as the installed ``repro`` script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (
+    EASY_TRIPLE,
+    EASYPP_TRIPLE,
+    CampaignConfig,
+    HeuristicTriple,
+    analyze_predictions,
+    average_reductions,
+    leave_one_out,
+    run_campaign,
+    run_triple,
+    selection_consensus,
+    table8_rows,
+)
+from .core.reporting import format_percent, format_table
+from .workload import ARCHIVE, LOG_NAMES, get_trace, save_swf, table4_rows
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Improving Backfilling by using Machine "
+            "Learning to predict Running Times' (SC 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("logs", help="list the archive logs (paper Table 4)")
+
+    p_synth = sub.add_parser("synth", help="write a synthetic SWF trace")
+    p_synth.add_argument("output", help="output .swf path")
+    p_synth.add_argument("--log", required=True, choices=LOG_NAMES)
+    p_synth.add_argument("--n-jobs", type=int, default=2000)
+    p_synth.add_argument("--seed", type=int, default=None)
+
+    p_sim = sub.add_parser("sim", help="run one heuristic triple on one log")
+    p_sim.add_argument("--log", required=True, choices=LOG_NAMES)
+    p_sim.add_argument("--n-jobs", type=int, default=2000)
+    p_sim.add_argument("--seed", type=int, default=None)
+    p_sim.add_argument("--predictor", default="requested")
+    p_sim.add_argument("--corrector", default="none")
+    p_sim.add_argument("--scheduler", default="easy")
+    p_sim.add_argument("--tau", type=float, default=10.0)
+
+    p_camp = sub.add_parser("campaign", help="run the full 128-triple campaign")
+    p_camp.add_argument("--logs", nargs="*", default=list(LOG_NAMES))
+    p_camp.add_argument("--n-jobs", type=int, default=2000)
+    p_camp.add_argument("--replicas", type=int, default=3)
+    p_camp.add_argument("--cache", default=None, help="JSON cache path")
+    p_camp.add_argument("--workers", type=int, default=None)
+
+    p_table = sub.add_parser("table", help="print a paper table reproduction")
+    p_table.add_argument("--which", required=True, choices=["1", "4", "6", "7", "8"])
+    p_table.add_argument("--n-jobs", type=int, default=2000)
+    p_table.add_argument("--replicas", type=int, default=3)
+    p_table.add_argument("--cache", default=None)
+    p_table.add_argument("--workers", type=int, default=None)
+    return parser
+
+
+def _cmd_logs() -> int:
+    rows = table4_rows()
+    print(
+        format_table(
+            ["Name", "Year", "# CPUs", "# Jobs", "Duration"],
+            rows,
+            title="Workload logs (paper Table 4; published metadata)",
+        )
+    )
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    trace = get_trace(args.log, n_jobs=args.n_jobs, seed=args.seed)
+    save_swf(trace, args.output)
+    stats = trace.stats()
+    print(f"wrote {args.output}: {stats.describe()}")
+    return 0
+
+
+def _cmd_sim(args: argparse.Namespace) -> int:
+    corrector = None if args.corrector == "none" else args.corrector
+    triple = HeuristicTriple(args.predictor, corrector, args.scheduler)
+    outcome = run_triple(
+        args.log, triple.key, n_jobs=args.n_jobs, seed=args.seed, tau=args.tau
+    )
+    print(f"log        : {outcome.log}")
+    print(f"triple     : {triple.describe()}")
+    print(f"AVEbsld    : {outcome.avebsld:.2f}")
+    print(f"utilization: {outcome.utilization:.3f}")
+    print(f"corrections: {outcome.corrections}")
+    print(f"max queue  : {outcome.max_queue_length}")
+    return 0
+
+
+def _campaign_from_args(args: argparse.Namespace):
+    config = CampaignConfig(
+        logs=tuple(args.logs) if hasattr(args, "logs") else LOG_NAMES,
+        n_jobs=args.n_jobs,
+        replicas=args.replicas,
+    )
+    return run_campaign(
+        config, cache_path=args.cache, workers=args.workers, progress=True
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    result = _campaign_from_args(args)
+    rows = []
+    for log, clair_fcfs, clair_sjbf, easy, easypp, rng_f, rng_s in result.table6_rows():
+        rows.append(
+            (
+                log,
+                clair_fcfs,
+                clair_sjbf,
+                easy,
+                easypp,
+                f"{rng_f[0]:.1f} - {rng_f[1]:.1f}",
+                f"{rng_s[0]:.1f} - {rng_s[1]:.1f}",
+            )
+        )
+    print(
+        format_table(
+            ["Trace", "Clairv FCFS", "Clairv SJBF", "EASY", "EASY++", "Learn FCFS", "Learn SJBF"],
+            rows,
+            title="Campaign overview (paper Table 6 layout)",
+        )
+    )
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.which == "4":
+        return _cmd_logs()
+    if args.which == "8":
+        analysis, _result, procs = analyze_predictions(n_jobs=args.n_jobs)
+        rows = [
+            (name, round(mae), f"{eloss:.3g}")
+            for name, mae, eloss in table8_rows(analysis, procs)
+        ]
+        print(
+            format_table(
+                ["Prediction Technique", "MAE (s)", "Mean E-Loss"],
+                rows,
+                title="Prediction error vs E-Loss (paper Table 8)",
+            )
+        )
+        return 0
+
+    args.logs = list(LOG_NAMES)
+    result = _campaign_from_args(args)
+    if args.which == "1":
+        rows = [
+            (log, easy, clair, format_percent(red))
+            for log, easy, clair, red in result.table1_rows()
+        ]
+        print(
+            format_table(
+                ["Log", "EASY", "EASY-Clairvoyant", "decrease"],
+                rows,
+                title="EASY vs clairvoyant EASY (paper Table 1)",
+            )
+        )
+    elif args.which == "6":
+        return _cmd_campaign(args)
+    elif args.which == "7":
+        rows = leave_one_out(result)
+        consensus, folds = selection_consensus(rows)
+        table = [
+            (
+                row.log,
+                f"{row.cv_score:.1f} {format_percent(row.reduction_vs_easy)}",
+                f"{row.easy_score:.1f}",
+                f"{row.easypp_score:.1f} {format_percent(row.reduction_vs_easypp)}",
+            )
+            for row in rows
+        ]
+        print(
+            format_table(
+                ["Log", "C-V Heuristic triple", "EASY", "EASY++"],
+                table,
+                title="Cross-validated triple selection (paper Table 7)",
+            )
+        )
+        vs_easy, vs_easypp = average_reductions(rows)
+        print(f"\nconsensus triple: {consensus.key} (selected in {folds}/6 folds)")
+        print(f"average reduction vs EASY  : {vs_easy:.0f}% (paper: 28%)")
+        print(f"average reduction vs EASY++: {vs_easypp:.0f}% (paper: 11%)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "logs":
+        return _cmd_logs()
+    if args.command == "synth":
+        return _cmd_synth(args)
+    if args.command == "sim":
+        return _cmd_sim(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "table":
+        return _cmd_table(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

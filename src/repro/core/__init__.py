@@ -1,0 +1,57 @@
+"""Experiment orchestration: triples, campaign, cross-validation, reports."""
+
+from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .crossval import (
+    CrossValidationRow,
+    average_reductions,
+    leave_one_out,
+    selection_consensus,
+)
+from .prediction_analysis import (
+    DEFAULT_TECHNIQUES,
+    PredictionAnalysis,
+    analyze_predictions,
+    table8_rows,
+)
+from .reporting import ascii_scatter, format_percent, format_table
+from .sensitivity import SweepPoint, sweep_estimate_quality, sweep_offered_load
+from .run import RunOutcome, run_triple, run_triple_on_trace
+from .triples import (
+    EASY_TRIPLE,
+    EASYPP_TRIPLE,
+    ELOSS_TRIPLE,
+    SJBF_REQUESTED_TRIPLE,
+    HeuristicTriple,
+    campaign_triples,
+    reference_triples,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "CrossValidationRow",
+    "average_reductions",
+    "leave_one_out",
+    "selection_consensus",
+    "DEFAULT_TECHNIQUES",
+    "PredictionAnalysis",
+    "analyze_predictions",
+    "table8_rows",
+    "ascii_scatter",
+    "format_percent",
+    "format_table",
+    "SweepPoint",
+    "sweep_estimate_quality",
+    "sweep_offered_load",
+    "RunOutcome",
+    "run_triple",
+    "run_triple_on_trace",
+    "EASY_TRIPLE",
+    "EASYPP_TRIPLE",
+    "ELOSS_TRIPLE",
+    "SJBF_REQUESTED_TRIPLE",
+    "HeuristicTriple",
+    "campaign_triples",
+    "reference_triples",
+]

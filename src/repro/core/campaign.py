@@ -1,0 +1,239 @@
+"""The full experimental campaign (paper Section 6.2).
+
+For every workload log, run every heuristic triple (128 of them) plus the
+two clairvoyant references -- over ``replicas`` independent synthetic
+trace draws per log, since a simulation-sized synthetic subset is one
+sample of a stochastic workload (the paper runs each real log once; see
+DESIGN.md for the protocol difference).
+
+Results are cached on disk keyed by every input that affects the number,
+so re-running a campaign (e.g. from several benchmarks) costs nothing.
+Simulations are independent and dispatch across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.slowdown import DEFAULT_TAU
+from ..workload.archive import LOG_NAMES, stable_seed
+from .run import run_triple
+from .triples import (
+    EASY_TRIPLE,
+    EASYPP_TRIPLE,
+    HeuristicTriple,
+    campaign_triples,
+    reference_triples,
+)
+
+__all__ = ["CampaignConfig", "CampaignResult", "run_campaign", "CACHE_VERSION"]
+
+#: Bump when the workload generator or engine semantics change, so stale
+#: cached simulation outcomes are never reused.
+CACHE_VERSION = 3
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign's numbers."""
+
+    logs: tuple[str, ...] = LOG_NAMES
+    n_jobs: int = 2000
+    replicas: int = 3
+    min_prediction: float = 60.0
+    tau: float = DEFAULT_TAU
+
+    def seeds_for(self, log: str) -> list[int]:
+        base = stable_seed(log)
+        return [base + r for r in range(self.replicas)]
+
+    def cache_token(self, log: str, triple_key: str, seed: int) -> str:
+        return (
+            f"v{CACHE_VERSION}|{log}|{triple_key}|n={self.n_jobs}|s={seed}"
+            f"|mp={self.min_prediction:g}|tau={self.tau:g}"
+        )
+
+
+@dataclass
+class CampaignResult:
+    """Per-(log, triple) replica scores plus convenience aggregations."""
+
+    config: CampaignConfig
+    #: scores[log][triple_key] = list of per-replica AVEbsld values.
+    scores: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+
+    # -- basic access ---------------------------------------------------------
+    def mean(self, log: str, triple: HeuristicTriple | str) -> float:
+        key = triple.key if isinstance(triple, HeuristicTriple) else triple
+        values = self.scores[log][key]
+        return float(np.mean(values))
+
+    def triple_keys(self, include_references: bool = False) -> list[str]:
+        keys = [t.key for t in campaign_triples()]
+        if include_references:
+            keys += [t.key for t in reference_triples()]
+        return keys
+
+    def score_vector(self, log: str, keys: list[str]) -> np.ndarray:
+        """Mean AVEbsld of the given triples on one log, in order."""
+        return np.array([self.mean(log, k) for k in keys])
+
+    # -- the paper's aggregations ---------------------------------------------
+    def learning_range(self, log: str, scheduler: str) -> tuple[float, float]:
+        """(best, worst) mean AVEbsld over the 60 ML triples of a variant."""
+        values = [
+            self.mean(log, t)
+            for t in campaign_triples()
+            if t.uses_learning and t.scheduler == scheduler
+        ]
+        return (float(min(values)), float(max(values)))
+
+    def best_triple(
+        self, logs: tuple[str, ...] | None = None, learning_only: bool = False
+    ) -> HeuristicTriple:
+        """Triple minimising the summed mean AVEbsld over ``logs``."""
+        logs = logs or self.config.logs
+        candidates = [
+            t for t in campaign_triples() if (t.uses_learning or not learning_only)
+        ]
+        sums = [sum(self.mean(log, t) for log in logs) for t in candidates]
+        return candidates[int(np.argmin(sums))]
+
+    def table1_rows(self) -> list[tuple[str, float, float, float]]:
+        """(log, EASY, EASY-Clairvoyant, reduction%) per log."""
+        rows = []
+        clairvoyant = HeuristicTriple("clairvoyant", None, "easy")
+        for log in self.config.logs:
+            easy = self.mean(log, EASY_TRIPLE)
+            clair = self.mean(log, clairvoyant)
+            rows.append((log, easy, clair, (easy - clair) / easy * 100.0))
+        return rows
+
+    def table6_rows(
+        self,
+    ) -> list[tuple[str, float, float, float, float, tuple, tuple]]:
+        """Per log: clairvoyant FCFS/SJBF, EASY, EASY++, learning ranges."""
+        rows = []
+        clair_fcfs = HeuristicTriple("clairvoyant", None, "easy")
+        clair_sjbf = HeuristicTriple("clairvoyant", None, "easy-sjbf")
+        for log in self.config.logs:
+            rows.append(
+                (
+                    log,
+                    self.mean(log, clair_fcfs),
+                    self.mean(log, clair_sjbf),
+                    self.mean(log, EASY_TRIPLE),
+                    self.mean(log, EASYPP_TRIPLE),
+                    self.learning_range(log, "easy"),
+                    self.learning_range(log, "easy-sjbf"),
+                )
+            )
+        return rows
+
+
+class _DiskCache:
+    """Flat JSON cache of simulation outcomes."""
+
+    def __init__(self, path: str | None) -> None:
+        self.path = path
+        self._data: dict[str, float] = {}
+        if path and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    self._data = {str(k): float(v) for k, v in json.load(fh).items()}
+            except (json.JSONDecodeError, OSError, ValueError):
+                self._data = {}
+
+    def get(self, token: str) -> float | None:
+        return self._data.get(token)
+
+    def put(self, token: str, value: float) -> None:
+        self._data[token] = value
+
+    def flush(self) -> None:
+        if not self.path:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._data, fh)
+        os.replace(tmp, self.path)
+
+
+def _run_one(args: tuple) -> tuple[str, str, int, float]:
+    """Worker-side shim (must be module-level for pickling)."""
+    log, triple_key, n_jobs, seed, min_prediction, tau = args
+    outcome = run_triple(
+        log, triple_key, n_jobs=n_jobs, seed=seed, min_prediction=min_prediction, tau=tau
+    )
+    return (log, triple_key, seed, outcome.avebsld)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    cache_path: str | None = None,
+    workers: int | None = None,
+    include_references: bool = True,
+    progress: bool = False,
+) -> CampaignResult:
+    """Run (or load from cache) the full campaign for ``config``."""
+    triples = campaign_triples()
+    if include_references:
+        triples = triples + reference_triples()
+    cache = _DiskCache(cache_path)
+
+    wanted: list[tuple[str, str, int]] = []
+    for log in config.logs:
+        for seed in config.seeds_for(log):
+            for triple in triples:
+                wanted.append((log, triple.key, seed))
+
+    pending = [
+        (log, key, seed)
+        for (log, key, seed) in wanted
+        if cache.get(config.cache_token(log, key, seed)) is None
+    ]
+    if pending:
+        jobs = [
+            (log, key, config.n_jobs, seed, config.min_prediction, config.tau)
+            for (log, key, seed) in pending
+        ]
+        if workers is None:
+            cpu = os.cpu_count() or 1
+            workers = max(1, min(cpu - 1, 16))
+        if workers <= 1 or len(jobs) <= 2:
+            completed = map(_run_one, jobs)
+            for idx, (log, key, seed, score) in enumerate(completed):
+                cache.put(config.cache_token(log, key, seed), score)
+                if progress and (idx + 1) % 50 == 0:
+                    print(f"  campaign: {idx + 1}/{len(jobs)} simulations done")
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for idx, (log, key, seed, score) in enumerate(
+                    pool.map(_run_one, jobs, chunksize=4)
+                ):
+                    cache.put(config.cache_token(log, key, seed), score)
+                    if progress and (idx + 1) % 50 == 0:
+                        print(f"  campaign: {idx + 1}/{len(jobs)} simulations done")
+        cache.flush()
+
+    result = CampaignResult(config=config)
+    for log in config.logs:
+        result.scores[log] = {}
+        for triple in triples:
+            values = []
+            for seed in config.seeds_for(log):
+                token = config.cache_token(log, triple.key, seed)
+                value = cache.get(token)
+                if value is None:
+                    raise RuntimeError(f"campaign cache missing {token}")
+                values.append(value)
+            result.scores[log][triple.key] = values
+    return result

@@ -1,0 +1,81 @@
+"""Single-simulation entry point used by the campaign runner.
+
+Kept as a module-level function with a picklable signature so
+:class:`concurrent.futures.ProcessPoolExecutor` can dispatch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.slowdown import DEFAULT_TAU, average_bounded_slowdown
+from ..sim.engine import Simulator
+from ..sim.results import SimulationResult
+from ..workload.archive import get_trace, stable_seed
+from ..workload.trace import Trace
+from .triples import HeuristicTriple
+
+__all__ = ["RunOutcome", "run_triple_on_trace", "run_triple"]
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """Small, picklable summary of one simulation."""
+
+    log: str
+    triple_key: str
+    seed: int
+    avebsld: float
+    utilization: float
+    corrections: int
+    max_queue_length: int
+
+    @property
+    def triple(self) -> HeuristicTriple:
+        return HeuristicTriple.from_key(self.triple_key)
+
+
+def run_triple_on_trace(
+    trace: Trace,
+    triple: HeuristicTriple,
+    min_prediction: float = 60.0,
+    tau: float = DEFAULT_TAU,
+) -> SimulationResult:
+    """Run one triple on an existing trace and return the full result."""
+    scheduler, predictor, corrector = triple.build()
+    simulator = Simulator(
+        trace, scheduler, predictor, corrector, min_prediction=min_prediction
+    )
+    return simulator.run()
+
+
+def run_triple(
+    log: str,
+    triple_key: str,
+    n_jobs: int,
+    seed: int | None = None,
+    min_prediction: float = 60.0,
+    tau: float = DEFAULT_TAU,
+) -> RunOutcome:
+    """Synthesise (or load) the log's trace and run one triple on it.
+
+    Deterministic: the same arguments always produce the same outcome.
+    """
+    if seed is None:
+        seed = stable_seed(log)
+    trace = get_trace(log, n_jobs=n_jobs, seed=seed)
+    triple = HeuristicTriple.from_key(triple_key)
+    scheduler, predictor, corrector = triple.build()
+    simulator = Simulator(
+        trace, scheduler, predictor, corrector, min_prediction=min_prediction
+    )
+    result = simulator.run()
+    return RunOutcome(
+        log=log,
+        triple_key=triple_key,
+        seed=seed,
+        avebsld=average_bounded_slowdown(result, tau),
+        utilization=result.utilization(),
+        corrections=result.total_corrections(),
+        max_queue_length=simulator.stats.max_queue_length,
+    )

@@ -1,0 +1,131 @@
+"""Heuristic triples: (prediction, correction, backfilling) combinations.
+
+The paper's campaign (Section 6.2) evaluates every combination of
+
+* prediction technique: Requested Time, AVE2, and the 20 machine-learned
+  loss configurations (Table 5) -- plus Clairvoyant as reference;
+* correction mechanism: Requested Time, Incremental, Recursive Doubling
+  (only for predictors that can under-predict);
+* backfilling variant: EASY and EASY-SJBF.
+
+That yields exactly 128 triples per log (2 + 6 + 120), plus 2 clairvoyant
+references, matching the paper's "128 simulations per workload log".
+
+Named instances:
+
+* ``EASY_TRIPLE``      -- Requested Time + no correction + EASY: the
+  standard EASY backfilling algorithm;
+* ``EASYPP_TRIPLE``    -- AVE2 + Incremental + EASY-SJBF: EASY++
+  (Tsafrir et al.);
+* ``ELOSS_TRIPLE``     -- E-Loss learning + Incremental + EASY-SJBF: the
+  paper's winning triple (Section 6.3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..correct import Corrector, make_corrector
+from ..predict import Predictor, all_loss_specs, make_predictor
+from ..sched import Scheduler, make_scheduler
+
+__all__ = [
+    "HeuristicTriple",
+    "campaign_triples",
+    "reference_triples",
+    "EASY_TRIPLE",
+    "EASYPP_TRIPLE",
+    "ELOSS_TRIPLE",
+    "SJBF_REQUESTED_TRIPLE",
+]
+
+
+@dataclass(frozen=True)
+class HeuristicTriple:
+    """One (prediction, correction, backfilling) combination."""
+
+    predictor: str
+    corrector: str | None
+    scheduler: str
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``ml:sq-lin-large-area|incremental|easy-sjbf``."""
+        return f"{self.predictor}|{self.corrector or 'none'}|{self.scheduler}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "HeuristicTriple":
+        parts = key.split("|")
+        if len(parts) != 3:
+            raise ValueError(f"malformed triple key {key!r}")
+        predictor, corrector, scheduler = parts
+        return cls(
+            predictor=predictor,
+            corrector=None if corrector == "none" else corrector,
+            scheduler=scheduler,
+        )
+
+    def build(self) -> tuple[Scheduler, Predictor, Corrector | None]:
+        """Fresh component instances (one simulation's worth of state)."""
+        scheduler = make_scheduler(self.scheduler)
+        predictor = make_predictor(self.predictor)
+        corrector = make_corrector(self.corrector) if self.corrector else None
+        return scheduler, predictor, corrector
+
+    @property
+    def uses_learning(self) -> bool:
+        return self.predictor.startswith("ml:")
+
+    @property
+    def is_clairvoyant(self) -> bool:
+        return self.predictor == "clairvoyant"
+
+    def describe(self) -> str:
+        """Human-readable description for reports."""
+        if self == EASY_TRIPLE:
+            return "EASY (standard)"
+        if self == EASYPP_TRIPLE:
+            return "EASY++ (Tsafrir et al.)"
+        if self == ELOSS_TRIPLE:
+            return "E-Loss learning + Incremental + EASY-SJBF (paper's winner)"
+        return self.key
+
+
+#: Standard EASY: user estimates, no correction needed, FCFS backfill order.
+EASY_TRIPLE = HeuristicTriple("requested", None, "easy")
+
+#: EASY with SJBF order but still user estimates.
+SJBF_REQUESTED_TRIPLE = HeuristicTriple("requested", None, "easy-sjbf")
+
+#: EASY++ of Tsafrir et al.: AVE2 prediction, incremental correction, SJBF.
+EASYPP_TRIPLE = HeuristicTriple("ave2", "incremental", "easy-sjbf")
+
+#: The paper's cross-validation winner (Eq. 3 loss).
+ELOSS_TRIPLE = HeuristicTriple("ml:sq-lin-large-area", "incremental", "easy-sjbf")
+
+_CORRECTORS = ("requested", "incremental", "doubling")
+_SCHEDULERS = ("easy", "easy-sjbf")
+
+
+def campaign_triples() -> list[HeuristicTriple]:
+    """The 128 evaluated triples, in a fixed deterministic order."""
+    triples: list[HeuristicTriple] = []
+    for scheduler in _SCHEDULERS:
+        triples.append(HeuristicTriple("requested", None, scheduler))
+    for corrector in _CORRECTORS:
+        for scheduler in _SCHEDULERS:
+            triples.append(HeuristicTriple("ave2", corrector, scheduler))
+    for spec in all_loss_specs():
+        for corrector in _CORRECTORS:
+            for scheduler in _SCHEDULERS:
+                triples.append(
+                    HeuristicTriple(f"ml:{spec.key}", corrector, scheduler)
+                )
+    if len(triples) != 128:
+        raise AssertionError(f"campaign must have 128 triples, got {len(triples)}")
+    return triples
+
+
+def reference_triples() -> list[HeuristicTriple]:
+    """Clairvoyant upper-bound references (reported, not competing)."""
+    return [HeuristicTriple("clairvoyant", None, s) for s in _SCHEDULERS]

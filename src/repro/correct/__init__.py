@@ -1,0 +1,33 @@
+"""Correction mechanisms for under-predicted running times."""
+
+from .base import Corrector
+from .mechanisms import (
+    INCREMENTS,
+    IncrementalCorrector,
+    RecursiveDoublingCorrector,
+    RequestedTimeCorrector,
+)
+
+__all__ = [
+    "Corrector",
+    "INCREMENTS",
+    "IncrementalCorrector",
+    "RecursiveDoublingCorrector",
+    "RequestedTimeCorrector",
+    "make_corrector",
+]
+
+
+def make_corrector(name: str) -> Corrector:
+    """Construct a corrector from its registry name."""
+    registry = {
+        "requested": RequestedTimeCorrector,
+        "incremental": IncrementalCorrector,
+        "doubling": RecursiveDoublingCorrector,
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown corrector {name!r}; known: {', '.join(registry)}"
+        ) from None

@@ -1,0 +1,38 @@
+"""Correction-mechanism interface (paper Section 5.2).
+
+When a running job reaches its predicted end without finishing (an
+*under-prediction*), the scheduler's view must be repaired: the corrector
+produces a new predicted total running time.  The paper deliberately uses
+simple rules rather than re-querying the learner, "which gave a wrong
+value".
+
+Contract: the returned prediction must be strictly greater than the
+elapsed running time (otherwise the expiry would fire again immediately)
+and is capped by the engine at the requested time, which upper-bounds any
+feasible runtime.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..sim.results import JobRecord
+
+__all__ = ["Corrector"]
+
+
+class Corrector(ABC):
+    """Produces new running-time predictions for under-predicted jobs."""
+
+    #: short identifier used in reports and triple names.
+    name: str = "base"
+
+    @abstractmethod
+    def correct(self, record: JobRecord, now: float) -> float:
+        """New predicted *total* running time for a job whose prediction
+        just expired.
+
+        ``record.corrections`` tells how many corrections already
+        happened (0 on the first call); ``now - record.start_time`` is
+        the elapsed running time.
+        """

@@ -1,0 +1,71 @@
+"""The paper's three correction mechanisms (Section 5.2).
+
+* **Requested Time** -- jump straight to the user's requested time, the
+  largest admissible prediction;
+* **Incremental** -- Tsafrir et al.'s scheme: on the k-th correction add
+  the k-th value of a fixed ladder (1min, 5min, 15min, 30min, 1h, 2h,
+  5h, 10h, 20h, 50h, 100h) to the current prediction;
+* **Recursive Doubling** -- double the elapsed running time.
+
+All returned values exceed the elapsed time; the engine caps them at the
+requested time.
+"""
+
+from __future__ import annotations
+
+from ..sim.results import JobRecord
+from .base import Corrector
+
+__all__ = [
+    "RequestedTimeCorrector",
+    "IncrementalCorrector",
+    "RecursiveDoublingCorrector",
+    "INCREMENTS",
+]
+
+#: Tsafrir et al.'s correction ladder, in seconds.
+INCREMENTS: tuple[float, ...] = (
+    60.0,  # 1 min
+    300.0,  # 5 min
+    900.0,  # 15 min
+    1800.0,  # 30 min
+    3600.0,  # 1 h
+    7200.0,  # 2 h
+    18000.0,  # 5 h
+    36000.0,  # 10 h
+    72000.0,  # 20 h
+    180000.0,  # 50 h
+    360000.0,  # 100 h
+)
+
+
+class RequestedTimeCorrector(Corrector):
+    """Fall back to the requested time, the safest upper bound."""
+
+    name = "requested"
+
+    def correct(self, record: JobRecord, now: float) -> float:
+        return record.requested_time
+
+
+class IncrementalCorrector(Corrector):
+    """Add progressively larger fixed amounts (Tsafrir et al. 2007)."""
+
+    name = "incremental"
+
+    def correct(self, record: JobRecord, now: float) -> float:
+        step = INCREMENTS[min(record.corrections, len(INCREMENTS) - 1)]
+        elapsed = now - record.start_time
+        # The increment extends the *expired* prediction; ensure progress
+        # past the elapsed time even if predictions drifted.
+        return max(record.predicted_runtime, elapsed) + step
+
+
+class RecursiveDoublingCorrector(Corrector):
+    """Double the elapsed running time."""
+
+    name = "doubling"
+
+    def correct(self, record: JobRecord, now: float) -> float:
+        elapsed = now - record.start_time
+        return 2.0 * max(elapsed, record.predicted_runtime, 1.0)

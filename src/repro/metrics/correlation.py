@@ -1,0 +1,64 @@
+"""Cross-log performance correlation (paper Section 6.3.2, Figure 3).
+
+The paper measures, for every pair of logs, the Pearson correlation of
+heuristic-triple AVEbsld scores, finding a low mean (0.26): a triple
+that wins on one system says little about another, which motivates the
+cross-validated selection of Section 6.3.3.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import numpy as np
+
+__all__ = ["pearson", "pairwise_correlations", "correlation_summary"]
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length samples."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError("samples must have the same shape")
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    sx = x.std()
+    sy = y.std()
+    if sx == 0 or sy == 0:
+        raise ValueError("constant sample has undefined correlation")
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))
+
+
+def pairwise_correlations(
+    scores_by_log: dict[str, np.ndarray]
+) -> dict[tuple[str, str], float]:
+    """Pearson correlation of triple scores for every pair of logs.
+
+    ``scores_by_log`` maps each log to the vector of AVEbsld scores of
+    the same heuristic triples, in the same order.
+    """
+    if len(scores_by_log) < 2:
+        raise ValueError("need at least two logs")
+    lengths = {len(v) for v in scores_by_log.values()}
+    if len(lengths) != 1:
+        raise ValueError("all logs must score the same triples")
+    out: dict[tuple[str, str], float] = {}
+    for (name_a, a), (name_b, b) in combinations(scores_by_log.items(), 2):
+        out[(name_a, name_b)] = pearson(np.asarray(a), np.asarray(b))
+    return out
+
+
+def correlation_summary(
+    scores_by_log: dict[str, np.ndarray]
+) -> dict[str, float]:
+    """Mean / min / max pairwise correlation (the paper reports 0.26 /
+    0.01 / 0.80)."""
+    values = list(pairwise_correlations(scores_by_log).values())
+    return {
+        "mean": float(np.mean(values)),
+        "min": float(np.min(values)),
+        "max": float(np.max(values)),
+        "n_pairs": float(len(values)),
+    }

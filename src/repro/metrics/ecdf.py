@@ -1,0 +1,71 @@
+"""Empirical cumulative distribution functions (paper Figures 4 and 5).
+
+The paper visualises prediction behaviour through ECDFs of prediction
+errors (Fig. 4) and of the predicted values themselves (Fig. 5).  This
+module computes ECDFs and renders them as ASCII line charts so the
+benchmark harness can "draw" the figures in a terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ecdf", "ecdf_at", "ascii_ecdf_chart"]
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F(x))`` with x sorted ascending and F stepping to 1."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("ecdf of empty sample")
+    x = np.sort(values)
+    y = np.arange(1, x.size + 1, dtype=float) / x.size
+    return x, y
+
+
+def ecdf_at(values: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Evaluate the ECDF of ``values`` at arbitrary ``points``."""
+    values = np.sort(np.asarray(values, dtype=float))
+    points = np.asarray(points, dtype=float)
+    return np.searchsorted(values, points, side="right") / values.size
+
+
+def ascii_ecdf_chart(
+    series: dict[str, np.ndarray],
+    x_min: float,
+    x_max: float,
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "",
+) -> str:
+    """Render several ECDFs as an ASCII chart.
+
+    Each series gets a single marker character; overlapping cells show
+    the later series.  The y axis spans [0, 1].
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if x_max <= x_min:
+        raise ValueError("x_max must exceed x_min")
+    markers = "*o+x#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    xs = np.linspace(x_min, x_max, width)
+    legend = []
+    for idx, (name, values) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"  {marker} {name}")
+        y = ecdf_at(values, xs)
+        for col in range(width):
+            row = height - 1 - int(round(y[col] * (height - 1)))
+            grid[row][col] = marker
+    lines = []
+    for row_idx, row in enumerate(grid):
+        frac = 1.0 - row_idx / (height - 1)
+        prefix = f"{frac:4.2f} |"
+        lines.append(prefix + "".join(row))
+    axis = "     +" + "-" * width
+    labels = f"     {x_min:<12.6g}{' ' * max(0, width - 24)}{x_max:>12.6g}"
+    out = "\n".join(lines) + "\n" + axis + "\n" + labels
+    if x_label:
+        out += f"\n     ({x_label})"
+    return out + "\n" + "\n".join(legend)

@@ -1,0 +1,65 @@
+"""Prediction-quality metrics (paper Section 6.4, Table 8).
+
+Two views of prediction error:
+
+* **MAE** (mean absolute error), the symmetric standard measure;
+* **mean E-Loss** (or any :class:`~repro.predict.loss.LossSpec`), the
+  scheduling-aware asymmetric measure the paper argues is what actually
+  matters -- Table 8's point is that AVE2 wins on MAE yet loses by four
+  orders of magnitude on E-Loss.
+
+All values are in seconds, like the paper's Table 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..predict.loss import LossSpec
+from ..sim.results import SimulationResult
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_loss",
+    "prediction_errors",
+    "under_prediction_rate",
+    "prediction_report",
+]
+
+
+def prediction_errors(result: SimulationResult) -> np.ndarray:
+    """Per-job signed error ``f_j - p_j`` of the submission-time prediction."""
+    return result.initial_predictions - result.runtimes
+
+
+def mean_absolute_error(result: SimulationResult) -> float:
+    """MAE of submission-time predictions, seconds."""
+    return float(np.abs(prediction_errors(result)).mean())
+
+
+def mean_loss(result: SimulationResult, spec: LossSpec) -> float:
+    """Mean of ``spec`` over the run's predictions (Table 8 column)."""
+    predictions = result.initial_predictions
+    runtimes = result.runtimes
+    processors = result.array("processors")
+    total = 0.0
+    for f, p, q in zip(predictions, runtimes, processors):
+        total += spec.value(float(f), float(p), float(q))
+    return total / max(1, len(result))
+
+
+def under_prediction_rate(result: SimulationResult) -> float:
+    """Fraction of jobs whose prediction fell short of the actual runtime."""
+    return float(np.mean(prediction_errors(result) < 0))
+
+
+def prediction_report(result: SimulationResult, spec: LossSpec) -> dict[str, float]:
+    """MAE + mean loss + misprediction balance, for tables and tests."""
+    errors = prediction_errors(result)
+    return {
+        "mae": float(np.abs(errors).mean()),
+        "mean_loss": mean_loss(result, spec),
+        "under_rate": float(np.mean(errors < 0)),
+        "over_rate": float(np.mean(errors > 0)),
+        "mean_error": float(errors.mean()),
+    }

@@ -1,0 +1,74 @@
+"""Running-time prediction: baselines, features, losses, NAG, ML predictor."""
+
+from .base import Predictor, UserHistoryTracker, UserState
+from .baselines import (
+    ClairvoyantPredictor,
+    RecentAveragePredictor,
+    RequestedTimePredictor,
+)
+from .basis import PolynomialBasis
+from .features import FEATURE_NAMES, N_FEATURES, extract_features
+from .loss import (
+    BRANCHES,
+    E_LOSS,
+    SQUARED_LOSS,
+    WEIGHTS,
+    LossSpec,
+    all_loss_specs,
+    weight_factor,
+)
+from .ml import MLPredictor
+from .nag import NagOptimizer
+from .quantile import QuantilePredictor
+
+__all__ = [
+    "Predictor",
+    "UserHistoryTracker",
+    "UserState",
+    "ClairvoyantPredictor",
+    "RecentAveragePredictor",
+    "RequestedTimePredictor",
+    "PolynomialBasis",
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "extract_features",
+    "BRANCHES",
+    "E_LOSS",
+    "SQUARED_LOSS",
+    "WEIGHTS",
+    "LossSpec",
+    "all_loss_specs",
+    "weight_factor",
+    "MLPredictor",
+    "NagOptimizer",
+    "QuantilePredictor",
+    "make_predictor",
+]
+
+
+def make_predictor(name: str) -> Predictor:
+    """Construct a predictor from its registry name.
+
+    Names: ``clairvoyant``, ``requested``, ``ave2`` (or ``ave<k>``), and
+    ``ml:<over>-<under>-<weight>`` with over/under in {sq, lin} and
+    weight a Table 3 scheme, e.g. ``ml:sq-lin-large-area`` (the E-Loss).
+    """
+    if name == "clairvoyant":
+        return ClairvoyantPredictor()
+    if name == "requested":
+        return RequestedTimePredictor()
+    if name.startswith("ave"):
+        k = int(name[3:])
+        return RecentAveragePredictor(k=k)
+    if name.startswith("quantile"):
+        return QuantilePredictor(quantile=float(name[8:]))
+    if name.startswith("ml:"):
+        key = name[3:]
+        long = {"sq": "squared", "lin": "linear"}
+        parts = key.split("-", 2)
+        if len(parts) != 3 or parts[0] not in long or parts[1] not in long:
+            raise KeyError(f"malformed ML predictor key {name!r}")
+        return MLPredictor(
+            LossSpec(over=long[parts[0]], under=long[parts[1]], weight=parts[2])
+        )
+    raise KeyError(f"unknown predictor {name!r}")

@@ -1,0 +1,65 @@
+"""Baseline predictors: Clairvoyant, Requested Time, AVE_k(p).
+
+These are the comparison points of the paper's campaign (Section 6.2):
+
+* **Clairvoyant** returns the actual running time -- an oracle marking
+  the upper bound of what prediction can buy (Table 1, Table 6);
+* **Requested Time** returns the user's estimate ``p~_j`` -- with EASY
+  this is exactly the standard EASY backfilling algorithm;
+* **AVE2** returns the mean of the user's last two completed runtimes
+  (Tsafrir et al. 2007) -- with Incremental correction and EASY-SJBF this
+  is exactly EASY++.  ``k`` generalises to AVE3 etc. (extension).
+"""
+
+from __future__ import annotations
+
+from ..sim.results import JobRecord
+from .base import Predictor, UserHistoryTracker
+
+__all__ = ["ClairvoyantPredictor", "RequestedTimePredictor", "RecentAveragePredictor"]
+
+
+class ClairvoyantPredictor(Predictor):
+    """Oracle: predicts the actual running time exactly."""
+
+    name = "clairvoyant"
+
+    def predict(self, record: JobRecord, now: float) -> float:
+        return record.runtime
+
+
+class RequestedTimePredictor(Predictor):
+    """Predicts the user-requested upper bound (standard EASY behaviour)."""
+
+    name = "requested"
+
+    def predict(self, record: JobRecord, now: float) -> float:
+        return record.requested_time
+
+
+class RecentAveragePredictor(Predictor):
+    """Mean of the user's last ``k`` completed runtimes (AVE_k(p)).
+
+    Falls back to the requested time while the user has no completed
+    history, as in Tsafrir et al.'s system-generated predictions.
+    """
+
+    def __init__(self, k: int = 2) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.name = f"ave{k}"
+        self._tracker = UserHistoryTracker()
+
+    def predict(self, record: JobRecord, now: float) -> float:
+        average = self._tracker.average_recent_runtime(record.job.user, self.k)
+        self._tracker.on_submit(record.job, now)
+        if average is None:
+            return record.requested_time
+        return average
+
+    def on_start(self, record: JobRecord, now: float) -> None:
+        self._tracker.on_start(record.job, now)
+
+    def on_finish(self, record: JobRecord, now: float) -> None:
+        self._tracker.on_finish(record.job, now)

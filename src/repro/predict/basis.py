@@ -1,0 +1,59 @@
+"""Degree-2 polynomial basis expansion (paper Eq. 1).
+
+Phi(x) = (1, x_1..x_n, x_1^2..x_n^2, x_i x_j for i<j), giving
+``1 + 2n + n(n-1)/2`` terms -- the dimensionality the paper states for
+its weight vector.  Cross terms let the linear learner capture pairwise
+feature interactions (e.g. requested time x history average).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PolynomialBasis"]
+
+
+class PolynomialBasis:
+    """Expands length-``n`` feature vectors into the degree-2 basis."""
+
+    def __init__(self, n_features: int) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self.n_features = int(n_features)
+        iu, ju = np.triu_indices(n_features, k=1)
+        self._iu = iu
+        self._ju = ju
+        self.dim = 1 + 2 * n_features + n_features * (n_features - 1) // 2
+
+    def expand(self, x: np.ndarray) -> np.ndarray:
+        """Phi(x); raises if ``x`` has the wrong length or non-finite values."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_features,):
+            raise ValueError(
+                f"expected shape ({self.n_features},), got {x.shape}"
+            )
+        if not np.all(np.isfinite(x)):
+            raise ValueError("features must be finite")
+        out = np.empty(self.dim, dtype=float)
+        out[0] = 1.0
+        n = self.n_features
+        out[1 : n + 1] = x
+        out[n + 1 : 2 * n + 1] = x * x
+        out[2 * n + 1 :] = x[self._iu] * x[self._ju]
+        return out
+
+    def term_names(self, feature_names: tuple[str, ...] | None = None) -> list[str]:
+        """Human-readable names of the basis terms (for model inspection)."""
+        n = self.n_features
+        if feature_names is None:
+            feature_names = tuple(f"x{i}" for i in range(n))
+        if len(feature_names) != n:
+            raise ValueError("feature_names length mismatch")
+        names = ["1"]
+        names.extend(feature_names)
+        names.extend(f"{f}^2" for f in feature_names)
+        names.extend(
+            f"{feature_names[i]}*{feature_names[j]}"
+            for i, j in zip(self._iu, self._ju)
+        )
+        return names

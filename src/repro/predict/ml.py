@@ -1,0 +1,106 @@
+"""The paper's online machine-learning predictor (Section 4.2).
+
+Pipeline: Table 2 features -> degree-2 polynomial basis -> linear model
+fitted online by NAG under an asymmetric weighted loss.
+
+Design notes:
+
+* **Training happens at completion time** -- the only moment ``p_j``
+  becomes observable -- in completion order, which is how an on-line
+  deployment would see the data.  The feature vector is the one captured
+  at submission.
+* **Targets are learned in hours** (``target_scale`` = 3600 by default):
+  NAG normalises feature scales but not the target, and second-scale
+  targets need thousands of examples for the weights to grow; hour-scale
+  targets converge within a few hundred jobs, which simulation-sized
+  traces require.  Loss *reporting* (Table 8, the E-Loss column) is
+  always done in seconds via :meth:`repro.predict.loss.LossSpec.value`.
+* Predictions are clamped to ``[0, requested_time]`` here and to at
+  least ``min_prediction`` by the engine; the raw model output is kept
+  on the record for the prediction-analysis figures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.results import JobRecord
+from .base import Predictor, UserHistoryTracker
+from .basis import PolynomialBasis
+from .features import N_FEATURES, extract_features
+from .loss import BRANCHES, LossSpec, weight_factor
+from .nag import NagOptimizer
+
+__all__ = ["MLPredictor"]
+
+
+class MLPredictor(Predictor):
+    """Online polynomial regression on SWF features under a custom loss."""
+
+    def __init__(
+        self,
+        loss: LossSpec,
+        eta: float = 0.5,
+        l2: float = 1e-6,
+        target_scale: float = 3600.0,
+        forgetting: float = 1.0,
+    ) -> None:
+        if target_scale <= 0:
+            raise ValueError("target_scale must be positive")
+        self.loss = loss
+        self.target_scale = float(target_scale)
+        self.name = f"ml:{loss.key}"
+        self._tracker = UserHistoryTracker()
+        self._basis = PolynomialBasis(N_FEATURES)
+        self._optimizer = NagOptimizer(
+            self._basis.dim, eta=eta, l2=l2, forgetting=forgetting
+        )
+        #: submission-time basis vectors awaiting their completion label.
+        self._pending: dict[int, np.ndarray] = {}
+        #: cumulative training loss (seconds-based), for diagnostics.
+        self.cumulative_loss = 0.0
+        self.n_updates = 0
+
+    # -- Predictor protocol ----------------------------------------------------
+    def predict(self, record: JobRecord, now: float) -> float:
+        job = record.job
+        phi = self._basis.expand(extract_features(job, self._tracker, now))
+        self._tracker.on_submit(job, now)
+        self._pending[job.job_id] = phi
+        raw = self._optimizer.predict(phi) * self.target_scale
+        return float(np.clip(raw, 0.0, job.requested_time))
+
+    def on_start(self, record: JobRecord, now: float) -> None:
+        self._tracker.on_start(record.job, now)
+
+    def on_finish(self, record: JobRecord, now: float) -> None:
+        job = record.job
+        self._tracker.on_finish(job, now)
+        phi = self._pending.pop(job.job_id, None)
+        if phi is None:  # job predates this predictor (warm-started runs)
+            return
+        # The loss (and hence the gradient) lives in *seconds*, the paper's
+        # units: the squared/linear branch crossover sits at a 1-second
+        # error, so a squared-over/linear-under mix biases the model toward
+        # under-prediction (paper Figs. 4-5).  Evaluating the branches in
+        # rescaled units would move that crossover and can flip the bias.
+        # The constant 1/target_scale chain factor is absorbed by NAG's
+        # AdaGrad normalisation.
+        f_seconds = self._optimizer.predict(phi) * self.target_scale
+        q = float(job.processors)
+        grad = self.loss.gradient(f_seconds, job.runtime, q)
+        self._optimizer.update(phi, grad)
+        self.cumulative_loss += self.loss.value(f_seconds, job.runtime, q)
+        self.n_updates += 1
+
+    # -- diagnostics -----------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """Current model weights (copy)."""
+        return self._optimizer.w.copy()
+
+    def mean_training_loss(self) -> float:
+        """Average seconds-based loss over the updates so far."""
+        if self.n_updates == 0:
+            return 0.0
+        return self.cumulative_loss / self.n_updates

@@ -1,0 +1,68 @@
+"""Per-user online quantile predictor (extension baseline).
+
+The paper's E-Loss drives the learned model toward *small* predictions
+(Section 6.4); the natural non-learning analogue is "predict a low
+quantile of the user's past runtimes".  This predictor estimates a
+running quantile per user with the classic online pinball-loss update
+and serves as an ablation comparator: it captures the under-prediction
+bias without the feature model.
+"""
+
+from __future__ import annotations
+
+from ..sim.results import JobRecord
+from .base import Predictor, UserHistoryTracker
+
+__all__ = ["QuantilePredictor"]
+
+
+class QuantilePredictor(Predictor):
+    """Predicts an online estimate of a per-user runtime quantile.
+
+    The estimate follows the stochastic sub-gradient of the pinball loss:
+    move up by ``eta * q`` when the job ran longer than the estimate,
+    down by ``eta * (1 - q)`` otherwise, with a step proportional to the
+    user's running runtime scale.  Falls back to the requested time until
+    the user has history.
+    """
+
+    def __init__(self, quantile: float = 0.25, eta: float = 0.2) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if eta <= 0:
+            raise ValueError("eta must be positive")
+        self.quantile = float(quantile)
+        self.eta = float(eta)
+        self.name = f"quantile{quantile:g}"
+        self._tracker = UserHistoryTracker()
+        self._estimate: dict[int, float] = {}
+
+    def predict(self, record: JobRecord, now: float) -> float:
+        self._tracker.on_submit(record.job, now)
+        estimate = self._estimate.get(record.job.user)
+        if estimate is None:
+            return record.requested_time
+        return estimate
+
+    def on_start(self, record: JobRecord, now: float) -> None:
+        self._tracker.on_start(record.job, now)
+
+    def on_finish(self, record: JobRecord, now: float) -> None:
+        job = record.job
+        self._tracker.on_finish(job, now)
+        user = job.user
+        current = self._estimate.get(user)
+        if current is None:
+            # initialise below the first observation, per the quantile bias
+            self._estimate[user] = job.runtime * self.quantile
+            return
+        state = self._tracker.state(user)
+        scale = max(
+            state.sum_runtimes / max(1, state.n_completed), 1.0
+        )
+        step = self.eta * scale
+        if job.runtime > current:
+            current += step * self.quantile
+        else:
+            current -= step * (1.0 - self.quantile)
+        self._estimate[user] = max(current, 1.0)

@@ -1,0 +1,45 @@
+"""Scheduling algorithms: FCFS, EASY (+SJBF order), conservative backfilling."""
+
+from .base import Scheduler
+from .conservative import ConservativeScheduler
+from .easy import EasyScheduler, compute_shadow
+from .fcfs import FcfsScheduler
+from .ordering import BACKFILL_ORDERS, order_queue
+from .priority import MultifactorScheduler, PriorityWeights
+
+__all__ = [
+    "Scheduler",
+    "ConservativeScheduler",
+    "EasyScheduler",
+    "compute_shadow",
+    "FcfsScheduler",
+    "MultifactorScheduler",
+    "PriorityWeights",
+    "BACKFILL_ORDERS",
+    "order_queue",
+]
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Construct a scheduler from its registry name.
+
+    Known names: ``fcfs``, ``easy``, ``easy-sjbf``, ``easy-saf``,
+    ``easy-narrow``, ``conservative``, ``conservative-sjbf``.
+    """
+    registry = {
+        "fcfs": lambda: FcfsScheduler(),
+        "easy": lambda: EasyScheduler("fcfs"),
+        "easy-sjbf": lambda: EasyScheduler("sjbf"),
+        "easy-saf": lambda: EasyScheduler("saf"),
+        "easy-narrow": lambda: EasyScheduler("narrow"),
+        "conservative": lambda: ConservativeScheduler("fcfs"),
+        "conservative-sjbf": lambda: ConservativeScheduler("sjbf"),
+        "multifactor": lambda: MultifactorScheduler(),
+        "multifactor-sjbf": lambda: MultifactorScheduler(backfill_order="sjbf"),
+    }
+    try:
+        return registry[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; known: {', '.join(registry)}"
+        ) from None

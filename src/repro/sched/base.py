@@ -1,0 +1,57 @@
+"""Scheduler interface.
+
+A scheduler owns the waiting queue.  The engine notifies it of
+submissions and asks it, at every event boundary, which waiting jobs to
+start *now*.  Schedulers read only scheduler-visible information: job
+descriptions, *predicted* running times (``record.predicted_runtime``)
+and the machine's predicted-release profile -- never actual runtimes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..sim.machine import Machine
+from ..sim.results import JobRecord
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for queue-based schedulers."""
+
+    #: short identifier used in reports and triple names.
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._queue: list[JobRecord] = []
+
+    # -- engine-facing protocol --------------------------------------------
+    def on_submit(self, record: JobRecord) -> None:
+        """A job has been released; add it to the waiting queue."""
+        self._queue.append(record)
+
+    def on_finish(self, record: JobRecord) -> None:
+        """A job completed.  Default: nothing (queue unaffected)."""
+
+    def on_correction(self, record: JobRecord) -> None:
+        """A running job's prediction was corrected.  Default: nothing."""
+
+    @abstractmethod
+    def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
+        """Jobs to start at ``now``.
+
+        Implementations must remove returned jobs from their queue and
+        must only return jobs that fit the machine *in the order given*
+        (the engine starts them sequentially and will raise otherwise).
+        """
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def queue(self) -> tuple[JobRecord, ...]:
+        """Waiting jobs in priority order (read-only view)."""
+        return tuple(self._queue)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,120 @@
+"""EASY backfilling (aggressive backfilling with one reservation).
+
+The algorithm (paper Section 5.1, originally Lifka 1995):
+
+1. Start waiting jobs in FCFS order while they fit in the free processors.
+2. When the queue head does not fit, give it a *reservation*: the
+   **shadow time** is the earliest instant at which, according to the
+   predicted completions of running jobs, enough processors accumulate
+   for the head.  Processors beyond the head's need at that instant are
+   the **extra** processors.
+3. Scan the remaining waiting jobs (in FCFS order for classic EASY, in
+   shortest-predicted-first order for EASY-SJBF) and *backfill* any job
+   that fits now and either (a) is predicted to finish before the shadow
+   time, or (b) uses only extra processors -- either way the head's
+   reservation is not delayed **with respect to current predictions**.
+
+Under-predictions can invalidate the reservation; the engine then fires
+correction events and scheduling is recomputed (Section 5.2 of the
+paper), which is exactly how the on-line algorithm absorbs misprediction.
+"""
+
+from __future__ import annotations
+
+from ..sim.machine import Machine
+from ..sim.results import JobRecord
+from .base import Scheduler
+from .ordering import BACKFILL_ORDERS, order_queue
+
+__all__ = ["EasyScheduler", "compute_shadow"]
+
+
+def compute_shadow(
+    head_processors: int, free: int, releases: list[tuple[float, int]], now: float
+) -> tuple[float, int]:
+    """Compute the head job's (shadow time, extra processors).
+
+    ``releases`` is the machine's predicted-release profile, soonest
+    first.  Returns ``(shadow_time, extra)`` where ``extra`` is the
+    number of processors that will still be free at ``shadow_time`` after
+    the head starts; jobs running past the shadow may use at most
+    ``extra`` processors.
+
+    Raises :class:`ValueError` if the head can never start (it is wider
+    than the machine) -- trace validation prevents that upstream.
+    """
+    available = free
+    if head_processors <= available:
+        return now, available - head_processors
+    shadow: float | None = None
+    for predicted_end, processors in releases:
+        if shadow is not None and predicted_end > shadow:
+            break
+        available += processors
+        if shadow is None and available >= head_processors:
+            # Keep absorbing releases predicted at the same instant: they
+            # are free at the shadow too and belong to the extra pool.
+            shadow = max(predicted_end, now)
+    if shadow is None:
+        raise ValueError(
+            f"head job needing {head_processors} processors can never start "
+            f"(free={free}, releases={releases})"
+        )
+    return shadow, available - head_processors
+
+
+class EasyScheduler(Scheduler):
+    """EASY backfilling with a pluggable backfill-candidate order.
+
+    ``backfill_order='fcfs'`` is classic EASY; ``'sjbf'`` is EASY-SJBF
+    (Tsafrir et al.), the variant the paper's winning triple uses.
+    """
+
+    def __init__(self, backfill_order: str = "fcfs") -> None:
+        super().__init__()
+        if backfill_order not in BACKFILL_ORDERS:
+            raise KeyError(
+                f"unknown backfill order {backfill_order!r}; "
+                f"known: {', '.join(BACKFILL_ORDERS)}"
+            )
+        self.backfill_order = backfill_order
+        self.name = "easy" if backfill_order == "fcfs" else f"easy-{backfill_order}"
+
+    def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
+        started: list[JobRecord] = []
+        free = machine.free
+
+        # Phase 1: start the queue head(s) while they fit (FCFS priority).
+        while self._queue and self._queue[0].processors <= free:
+            record = self._queue.pop(0)
+            free -= record.processors
+            started.append(record)
+        if not self._queue:
+            return started
+
+        # Phase 2: the head cannot start; compute its reservation.  The
+        # release profile must include the jobs we just decided to start.
+        releases = machine.predicted_releases(now)
+        for rec in started:
+            releases.append((now + rec.predicted_runtime, rec.processors))
+        releases.sort()
+        head = self._queue[0]
+        shadow, extra = compute_shadow(head.processors, free, releases, now)
+
+        # Phase 3: backfill.  A candidate may start iff it fits now and
+        # does not delay the head's reservation.
+        candidates = order_queue(self._queue[1:], self.backfill_order)
+        backfilled_ids: set[int] = set()
+        for record in candidates:
+            if record.processors > free:
+                continue
+            finishes_before_shadow = now + record.predicted_runtime <= shadow
+            if finishes_before_shadow or record.processors <= extra:
+                free -= record.processors
+                if not finishes_before_shadow:
+                    extra -= record.processors
+                started.append(record)
+                backfilled_ids.add(record.job_id)
+        if backfilled_ids:
+            self._queue = [r for r in self._queue if r.job_id not in backfilled_ids]
+        return started

@@ -1,0 +1,31 @@
+"""Pure First-Come-First-Served scheduling (no backfilling).
+
+The strictest baseline: jobs start in arrival order; the queue head
+blocks everything behind it until enough processors free up.  The paper
+uses EASY as its baseline, but pure FCFS is the natural lower bound and
+is included for ablation (backfilling's own contribution is the gap
+between FCFS and EASY).
+"""
+
+from __future__ import annotations
+
+from ..sim.machine import Machine
+from ..sim.results import JobRecord
+from .base import Scheduler
+
+__all__ = ["FcfsScheduler"]
+
+
+class FcfsScheduler(Scheduler):
+    """Start jobs strictly in arrival order."""
+
+    name = "fcfs"
+
+    def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
+        started: list[JobRecord] = []
+        free = machine.free
+        while self._queue and self._queue[0].processors <= free:
+            record = self._queue.pop(0)
+            free -= record.processors
+            started.append(record)
+        return started

@@ -1,0 +1,31 @@
+"""Event-driven scheduler simulator (pyss equivalent)."""
+
+from .engine import EngineStats, Simulator, simulate
+from .events import Event, EventQueue, EventType
+from .machine import Machine, RunningJob
+from .profile import AvailabilityProfile
+from .results import JobRecord, SimulationResult
+from .timeline import (
+    ascii_timeline,
+    occupancy_timeline,
+    queue_timeline,
+    utilization_profile,
+)
+
+__all__ = [
+    "EngineStats",
+    "Simulator",
+    "simulate",
+    "Event",
+    "EventQueue",
+    "EventType",
+    "Machine",
+    "RunningJob",
+    "AvailabilityProfile",
+    "JobRecord",
+    "SimulationResult",
+    "ascii_timeline",
+    "occupancy_timeline",
+    "queue_timeline",
+    "utilization_profile",
+]

@@ -1,0 +1,196 @@
+"""The discrete-event scheduling simulator.
+
+Drives a trace through a scheduler with a predictor and a correction
+mechanism -- the "heuristic triple" of the paper.  The engine is the only
+component that knows actual runtimes; schedulers see predictions, and
+predictors learn only from completions.
+
+Event loop semantics (matching pyss and the paper's on-line setting):
+
+* all events at one timestamp are processed before any scheduling
+  decision, in FINISH < EXPIRE < SUBMIT order;
+* one scheduling pass runs after each batch of events;
+* a running job whose *predicted* end passes without completion triggers
+  the correction mechanism, bumping its prediction version; stale expiry
+  events are dropped;
+* predictions are clamped to ``[min_prediction, requested_time]``; jobs
+  reaching their requested time finish there (SWF semantics guarantee
+  ``runtime <= requested_time``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..workload.trace import Trace
+from .events import Event, EventQueue, EventType
+from .machine import Machine
+from .results import JobRecord, SimulationResult
+
+if TYPE_CHECKING:  # imported for type hints only; avoids an import cycle
+    from ..correct.base import Corrector
+    from ..predict.base import Predictor
+    from ..sched.base import Scheduler
+
+__all__ = ["Simulator", "EngineStats", "simulate"]
+
+
+@dataclass
+class EngineStats:
+    """Run-level counters (not per-job)."""
+
+    n_events: int = 0
+    n_scheduling_passes: int = 0
+    n_corrections: int = 0
+    max_queue_length: int = 0
+
+
+class Simulator:
+    """One simulation = trace x scheduler x predictor x corrector."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        scheduler: Scheduler,
+        predictor: Predictor,
+        corrector: Corrector | None = None,
+        min_prediction: float = 60.0,
+    ) -> None:
+        if min_prediction <= 0:
+            raise ValueError("min_prediction must be positive")
+        self.trace = trace
+        self.scheduler = scheduler
+        self.predictor = predictor
+        self.corrector = corrector
+        self.min_prediction = float(min_prediction)
+        self.stats = EngineStats()
+
+    def run(self) -> SimulationResult:
+        """Execute the full trace; returns when every job has completed."""
+        machine = Machine(self.trace.processors)
+        events = EventQueue()
+        records: dict[int, JobRecord] = {}
+        for job in self.trace:
+            records[job.job_id] = JobRecord(job=job)
+            events.push(Event(time=job.submit_time, kind=EventType.SUBMIT, job_id=job.job_id))
+
+        while events:
+            now = events.peek_time()
+            for event in events.drain_time(now):
+                self.stats.n_events += 1
+                if event.kind is EventType.SUBMIT:
+                    self._handle_submit(records[event.job_id], now)
+                elif event.kind is EventType.FINISH:
+                    self._handle_finish(records[event.job_id], machine, now)
+                else:  # EXPIRE
+                    self._handle_expire(event, records[event.job_id], machine, events, now)
+            self._schedule_pass(machine, events, now)
+
+        result = SimulationResult(
+            records.values(),
+            machine_processors=self.trace.processors,
+            trace_name=self.trace.name,
+            scheduler_name=self.scheduler.name,
+            predictor_name=self.predictor.name,
+            corrector_name=self.corrector.name if self.corrector else "none",
+        )
+        return result
+
+    # -- event handlers -----------------------------------------------------
+    def _handle_submit(self, record: JobRecord, now: float) -> None:
+        raw = float(self.predictor.predict(record, now))
+        if raw != raw or raw in (float("inf"), float("-inf")):
+            raise ValueError(
+                f"predictor {self.predictor.name!r} returned a non-finite "
+                f"prediction for job {record.job_id}"
+            )
+        record.raw_prediction = raw
+        clamped = min(max(raw, self.min_prediction), record.requested_time)
+        record.initial_prediction = clamped
+        record.predicted_runtime = clamped
+        self.scheduler.on_submit(record)
+        self.stats.max_queue_length = max(
+            self.stats.max_queue_length, self.scheduler.queue_length
+        )
+
+    def _handle_finish(self, record: JobRecord, machine: Machine, now: float) -> None:
+        machine.finish(record.job_id, now)
+        self.predictor.on_finish(record, now)
+        self.scheduler.on_finish(record)
+
+    def _handle_expire(
+        self,
+        event: Event,
+        record: JobRecord,
+        machine: Machine,
+        events: EventQueue,
+        now: float,
+    ) -> None:
+        if not machine.is_running(record.job_id):
+            return  # stale: the job already finished
+        if event.version != record.version:
+            return  # stale: the prediction was corrected since
+        if self.corrector is None:
+            raise RuntimeError(
+                f"job {record.job_id} under-predicted at t={now} but no "
+                "correction mechanism is configured"
+            )
+        elapsed = now - record.start_time
+        new_prediction = float(self.corrector.correct(record, now))
+        # Contract enforcement: progress past the elapsed time, capped by
+        # the requested time which upper-bounds any feasible runtime.
+        new_prediction = min(
+            max(new_prediction, elapsed + 1.0), record.requested_time
+        )
+        record.corrections += 1
+        record.version += 1
+        record.predicted_runtime = new_prediction
+        self.stats.n_corrections += 1
+        self.scheduler.on_correction(record)
+        self._push_expiry(record, events)
+
+    def _push_expiry(self, record: JobRecord, events: EventQueue) -> None:
+        """Schedule the next expiry if the prediction is still too small."""
+        if record.predicted_runtime < record.runtime:
+            events.push(
+                Event(
+                    time=record.start_time + record.predicted_runtime,
+                    kind=EventType.EXPIRE,
+                    job_id=record.job_id,
+                    version=record.version,
+                )
+            )
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule_pass(self, machine: Machine, events: EventQueue, now: float) -> None:
+        self.stats.n_scheduling_passes += 1
+        started = self.scheduler.select_jobs(now, machine)
+        for record in started:
+            machine.start(record, now)
+            self.predictor.on_start(record, now)
+            events.push(
+                Event(
+                    time=now + record.runtime,
+                    kind=EventType.FINISH,
+                    job_id=record.job_id,
+                )
+            )
+            self._push_expiry(record, events)
+
+
+def simulate(
+    trace: Trace,
+    scheduler: Scheduler,
+    predictor: Predictor,
+    corrector: Corrector | None = None,
+    min_prediction: float = 60.0,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(
+        trace,
+        scheduler,
+        predictor,
+        corrector=corrector,
+        min_prediction=min_prediction,
+    ).run()

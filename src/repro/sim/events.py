@@ -1,0 +1,96 @@
+"""Event types and the event queue driving the simulation.
+
+The simulator is a classic discrete-event loop.  Three event kinds exist:
+
+* ``SUBMIT``  -- a job is released into the waiting queue (``r_j``);
+* ``FINISH``  -- a running job really completes (engine-side knowledge);
+* ``EXPIRE``  -- a running job reaches its *predicted* end without having
+  finished: the prediction was too small and the correction mechanism
+  (paper Section 5.2) must produce a new one.
+
+Events at the same timestamp are processed ``FINISH`` < ``EXPIRE`` <
+``SUBMIT`` so that resources freed at time *t* are visible to jobs
+submitted at *t*, and corrections see the machine after completions.
+
+``EXPIRE`` events can become stale (the prediction was corrected again,
+or the job finished first); each carries the prediction *version* it was
+scheduled for and is dropped if the job has moved on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Iterator
+
+__all__ = ["EventType", "Event", "EventQueue"]
+
+
+class EventType(IntEnum):
+    """Kinds of simulation events, in same-timestamp processing order."""
+
+    FINISH = 0
+    EXPIRE = 1
+    SUBMIT = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled simulation event."""
+
+    time: float
+    kind: EventType
+    job_id: int
+    #: prediction version for EXPIRE staleness checks; 0 otherwise.
+    version: int = 0
+
+    def sort_key(self, seq: int) -> tuple[float, int, int]:
+        return (self.time, int(self.kind), seq)
+
+
+class EventQueue:
+    """A stable priority queue of events.
+
+    Stability matters: two submissions at the same instant must be
+    processed in insertion (i.e. trace) order, otherwise FCFS priority
+    would depend on heap internals.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Add an event; events never change once pushed."""
+        if event.time < 0:
+            raise ValueError(f"event time must be >= 0, got {event.time}")
+        heapq.heappush(self._heap, (event.time, int(event.kind), self._seq, event))
+        self._seq += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)[3]
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0][3]
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event."""
+        return self.peek().time
+
+    def drain_time(self, time: float) -> Iterator[Event]:
+        """Yield and remove every event scheduled exactly at ``time``."""
+        while self._heap and self._heap[0][0] == time:
+            yield self.pop()

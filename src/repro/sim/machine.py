@@ -1,0 +1,126 @@
+"""Machine model: a pool of ``m`` identical processors.
+
+The paper's platform model has no interconnect topology; a job needs
+``q_j`` processors for ``p_j`` seconds.  State is therefore count-based
+(O(running jobs), never O(m)), which keeps 80k-processor machines free.
+
+The machine tracks, for every running job, both the *actual* end time
+(engine-side omniscience, used to fire FINISH events) and the *predicted*
+end time (scheduler-side knowledge, used for shadow/reservation
+computations).  Schedulers only ever read the predicted side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .results import JobRecord
+
+__all__ = ["Machine", "RunningJob"]
+
+
+@dataclass(slots=True)
+class RunningJob:
+    """Book-keeping for one running job."""
+
+    record: JobRecord
+    start_time: float
+
+    @property
+    def processors(self) -> int:
+        return self.record.processors
+
+    @property
+    def predicted_end(self) -> float:
+        return self.start_time + self.record.predicted_runtime
+
+    @property
+    def actual_end(self) -> float:
+        return self.start_time + self.record.runtime
+
+
+class Machine:
+    """A pool of identical processors with running-job book-keeping."""
+
+    def __init__(self, processors: int) -> None:
+        if processors <= 0:
+            raise ValueError(f"machine must have > 0 processors, got {processors}")
+        self.processors = int(processors)
+        self.free = int(processors)
+        self._running: dict[int, RunningJob] = {}
+
+    def __repr__(self) -> str:
+        return f"Machine(m={self.processors}, free={self.free}, running={len(self._running)})"
+
+    @property
+    def running(self) -> Iterable[RunningJob]:
+        """View of the currently running jobs (no ordering guarantee)."""
+        return self._running.values()
+
+    @property
+    def n_running(self) -> int:
+        return len(self._running)
+
+    def fits(self, processors: int) -> bool:
+        """Whether a job of the given width can start right now."""
+        return processors <= self.free
+
+    def start(self, record: JobRecord, now: float) -> RunningJob:
+        """Allocate processors to a job. The caller pushes FINISH/EXPIRE."""
+        if record.job_id in self._running:
+            raise ValueError(f"job {record.job_id} is already running")
+        if record.processors > self.free:
+            raise ValueError(
+                f"job {record.job_id} needs {record.processors} processors, "
+                f"only {self.free} free"
+            )
+        if record.predicted_runtime <= 0:
+            raise ValueError(
+                f"job {record.job_id} has no positive predicted runtime; "
+                "predict before starting"
+            )
+        self.free -= record.processors
+        record.start_time = now
+        run = RunningJob(record=record, start_time=now)
+        self._running[record.job_id] = run
+        return run
+
+    def finish(self, job_id: int, now: float) -> JobRecord:
+        """Release a job's processors and stamp its end time."""
+        try:
+            run = self._running.pop(job_id)
+        except KeyError:
+            raise ValueError(f"job {job_id} is not running") from None
+        self.free += run.processors
+        if self.free > self.processors:
+            raise AssertionError("machine freed more processors than it has")
+        run.record.end_time = now
+        return run.record
+
+    def is_running(self, job_id: int) -> bool:
+        return job_id in self._running
+
+    def get_running(self, job_id: int) -> RunningJob:
+        return self._running[job_id]
+
+    def predicted_releases(self, now: float) -> list[tuple[float, int]]:
+        """(predicted end, processors) per running job, soonest first.
+
+        Predicted ends are clamped to ``now``: a job whose prediction just
+        expired is treated as "about to finish" until its correction lands,
+        which is the most optimistic consistent view.
+        """
+        releases = [
+            (max(run.predicted_end, now), run.processors) for run in self._running.values()
+        ]
+        releases.sort()
+        return releases
+
+    def check_invariants(self) -> None:
+        """Assert conservation of processors (used by tests)."""
+        used = sum(run.processors for run in self._running.values())
+        if used + self.free != self.processors:
+            raise AssertionError(
+                f"processor leak: used={used} free={self.free} m={self.processors}"
+            )

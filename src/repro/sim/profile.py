@@ -1,0 +1,150 @@
+"""Processor-availability profile over future time.
+
+Used by conservative backfilling (every queued job holds a reservation)
+and by tests as an independent oracle for EASY's shadow-time computation.
+
+The profile is a step function ``available(t)`` represented by sorted
+breakpoints; the final segment extends to infinity.  All mutating
+operations preserve the invariants ``0 <= available(t) <= m`` and strictly
+increasing breakpoint times.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+__all__ = ["AvailabilityProfile"]
+
+
+class AvailabilityProfile:
+    """Step function of free processors from ``now`` to infinity."""
+
+    def __init__(self, processors: int, now: float, free: int | None = None) -> None:
+        if processors <= 0:
+            raise ValueError("processors must be positive")
+        free = processors if free is None else free
+        if not 0 <= free <= processors:
+            raise ValueError(f"free={free} out of range [0, {processors}]")
+        self.processors = int(processors)
+        self._times: list[float] = [now]
+        self._avail: list[int] = [int(free)]
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_releases(
+        cls,
+        processors: int,
+        now: float,
+        free: int,
+        releases: list[tuple[float, int]],
+    ) -> "AvailabilityProfile":
+        """Build the profile implied by running jobs' (end, width) pairs."""
+        profile = cls(processors, now, free)
+        for end_time, width in releases:
+            profile.add_release(max(end_time, now), width)
+        return profile
+
+    def add_release(self, time: float, processors: int) -> None:
+        """From ``time`` onwards, ``processors`` more become available."""
+        if processors <= 0:
+            raise ValueError("released processors must be positive")
+        self._apply_delta(time, math.inf, processors)
+
+    # -- queries --------------------------------------------------------------
+    def available_at(self, time: float) -> int:
+        """Free processors at ``time`` (>= profile start)."""
+        if time < self._times[0]:
+            raise ValueError(f"query at {time} precedes profile start {self._times[0]}")
+        idx = bisect.bisect_right(self._times, time) - 1
+        return self._avail[idx]
+
+    def min_available(self, start: float, duration: float) -> int:
+        """Minimum availability over ``[start, start + duration)``."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        end = start + duration
+        idx = bisect.bisect_right(self._times, start) - 1
+        lowest = self._avail[idx]
+        idx += 1
+        while idx < len(self._times) and self._times[idx] < end:
+            lowest = min(lowest, self._avail[idx])
+            idx += 1
+        return lowest
+
+    def earliest_fit(self, processors: int, duration: float, not_before: float) -> float:
+        """Earliest ``t >= not_before`` where ``processors`` stay free for
+        ``duration`` seconds.
+
+        Always exists because the final segment extends to infinity --
+        provided ``processors <= m`` and every reservation eventually ends.
+        """
+        if processors > self.processors:
+            raise ValueError(
+                f"cannot fit {processors} processors on an {self.processors}-machine"
+            )
+        anchors = [max(not_before, self._times[0])]
+        anchors.extend(t for t in self._times if t > anchors[0])
+        for anchor in anchors:
+            if self.min_available(anchor, duration) >= processors:
+                return anchor
+        raise AssertionError(
+            "no fit found; the final profile segment should make this impossible"
+        )
+
+    # -- mutation ---------------------------------------------------------------
+    def reserve(self, start: float, duration: float, processors: int) -> None:
+        """Subtract ``processors`` over ``[start, start + duration)``.
+
+        Raises :class:`ValueError` if the interval lacks capacity, so a
+        buggy caller cannot silently oversubscribe the machine.
+        """
+        if self.min_available(start, duration) < processors:
+            raise ValueError(
+                f"reserving {processors} procs over [{start}, {start + duration}) "
+                "exceeds availability"
+            )
+        self._apply_delta(start, start + duration, -processors)
+
+    def _ensure_breakpoint(self, time: float) -> int:
+        """Make ``time`` a breakpoint and return its index."""
+        idx = bisect.bisect_right(self._times, time) - 1
+        if idx < 0:
+            raise ValueError(f"time {time} precedes profile start {self._times[0]}")
+        if self._times[idx] == time:
+            return idx
+        self._times.insert(idx + 1, time)
+        self._avail.insert(idx + 1, self._avail[idx])
+        return idx + 1
+
+    def _apply_delta(self, start: float, end: float, delta: int) -> None:
+        first = self._ensure_breakpoint(start)
+        if math.isinf(end):
+            last = len(self._times)
+        else:
+            last = self._ensure_breakpoint(end)
+        for idx in range(first, last):
+            new_value = self._avail[idx] + delta
+            if not 0 <= new_value <= self.processors:
+                raise ValueError(
+                    f"availability {new_value} out of [0, {self.processors}] "
+                    f"at t={self._times[idx]}"
+                )
+            self._avail[idx] = new_value
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        """Merge adjacent segments with equal availability."""
+        times = [self._times[0]]
+        avail = [self._avail[0]]
+        for t, a in zip(self._times[1:], self._avail[1:]):
+            if a != avail[-1]:
+                times.append(t)
+                avail.append(a)
+        self._times = times
+        self._avail = avail
+
+    # -- introspection -------------------------------------------------------
+    def steps(self) -> list[tuple[float, int]]:
+        """The (time, availability) breakpoints, for tests and display."""
+        return list(zip(self._times, self._avail))

@@ -1,0 +1,173 @@
+"""Per-job records and the result object returned by a simulation run.
+
+A :class:`JobRecord` is the engine's mutable view of one job: static
+description (from the trace), the evolving prediction, and the schedule
+outcome.  :class:`SimulationResult` freezes the records after the run and
+exposes the arrays the metrics layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..workload.job import Job
+
+__all__ = ["JobRecord", "SimulationResult"]
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """Mutable simulation state for one job."""
+
+    job: Job
+    #: prediction as returned by the predictor, before engine clamping.
+    raw_prediction: float = 0.0
+    #: prediction of the running time made at submission (seconds),
+    #: clamped to [min_prediction, requested_time].
+    initial_prediction: float = 0.0
+    #: current predicted running time, updated by corrections.
+    predicted_runtime: float = 0.0
+    #: number of times the correction mechanism fired for this job.
+    corrections: int = 0
+    #: prediction version; bumped on every correction (staleness checks).
+    version: int = 0
+    start_time: float = -1.0
+    end_time: float = -1.0
+
+    # -- convenient job field proxies -------------------------------------
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def submit_time(self) -> float:
+        return self.job.submit_time
+
+    @property
+    def runtime(self) -> float:
+        return self.job.runtime
+
+    @property
+    def processors(self) -> int:
+        return self.job.processors
+
+    @property
+    def requested_time(self) -> float:
+        return self.job.requested_time
+
+    # -- schedule-derived quantities ---------------------------------------
+    @property
+    def started(self) -> bool:
+        return self.start_time >= 0
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time >= 0
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent in the queue; requires the job to have started."""
+        if not self.started:
+            raise ValueError(f"job {self.job_id} never started")
+        return self.start_time - self.submit_time
+
+    @property
+    def predicted_end(self) -> float:
+        """Predicted completion time; requires the job to have started."""
+        if not self.started:
+            raise ValueError(f"job {self.job_id} has no predicted end before start")
+        return self.start_time + self.predicted_runtime
+
+    def bounded_slowdown(self, tau: float = 10.0) -> float:
+        """The paper's bsld metric: max((wait + p) / max(p, tau), 1)."""
+        return max((self.wait_time + self.runtime) / max(self.runtime, tau), 1.0)
+
+
+class SimulationResult:
+    """Immutable outcome of one simulation run."""
+
+    def __init__(
+        self,
+        records: Iterable[JobRecord],
+        machine_processors: int,
+        trace_name: str = "",
+        scheduler_name: str = "",
+        predictor_name: str = "",
+        corrector_name: str = "",
+    ) -> None:
+        self._records = sorted(records, key=lambda r: (r.submit_time, r.job_id))
+        for rec in self._records:
+            if not rec.finished:
+                raise ValueError(
+                    f"job {rec.job_id} did not finish; the simulation is incomplete"
+                )
+        self.machine_processors = machine_processors
+        self.trace_name = trace_name
+        self.scheduler_name = scheduler_name
+        self.predictor_name = predictor_name
+        self.corrector_name = corrector_name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationResult({self.trace_name!r}, n={len(self)}, "
+            f"sched={self.scheduler_name!r}, pred={self.predictor_name!r}, "
+            f"corr={self.corrector_name!r})"
+        )
+
+    # -- arrays for the metrics layer --------------------------------------
+    def array(self, attribute: str) -> np.ndarray:
+        """Per-job attribute values as a float array, in submit order."""
+        return np.array([getattr(r, attribute) for r in self._records], dtype=float)
+
+    @property
+    def wait_times(self) -> np.ndarray:
+        return self.array("wait_time")
+
+    @property
+    def runtimes(self) -> np.ndarray:
+        return self.array("runtime")
+
+    @property
+    def initial_predictions(self) -> np.ndarray:
+        return self.array("initial_prediction")
+
+    @property
+    def requested_times(self) -> np.ndarray:
+        return self.array("requested_time")
+
+    def bounded_slowdowns(self, tau: float = 10.0) -> np.ndarray:
+        """Per-job bounded slowdowns (paper Section 5.3)."""
+        waits = self.wait_times
+        runs = self.runtimes
+        return np.maximum((waits + runs) / np.maximum(runs, tau), 1.0)
+
+    def avebsld(self, tau: float = 10.0) -> float:
+        """AVEbsld, the paper's headline objective."""
+        return float(self.bounded_slowdowns(tau).mean())
+
+    def utilization(self) -> float:
+        """Fraction of processor-time used between first start and last end."""
+        if not self._records:
+            return 0.0
+        start = min(r.start_time for r in self._records)
+        end = max(r.end_time for r in self._records)
+        if end <= start:
+            return 0.0
+        area = sum(r.runtime * r.processors for r in self._records)
+        return area / (self.machine_processors * (end - start))
+
+    def total_corrections(self) -> int:
+        """How many prediction-expiry corrections happened over the run."""
+        return sum(r.corrections for r in self._records)

@@ -1,0 +1,108 @@
+"""Post-hoc schedule timelines: utilization and queue depth over time.
+
+Reconstructs step functions from a finished :class:`SimulationResult` --
+the simulator itself stays lean and per-job; anything about "the machine
+over time" is derived here.  Used by the analysis examples and by tests
+as an independent check of processor conservation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .results import SimulationResult
+
+__all__ = ["occupancy_timeline", "queue_timeline", "utilization_profile", "ascii_timeline"]
+
+
+def occupancy_timeline(result: SimulationResult) -> tuple[np.ndarray, np.ndarray]:
+    """Step function of busy processors: ``(times, busy_after_time)``.
+
+    ``busy_after_time[i]`` holds between ``times[i]`` and ``times[i+1]``.
+    """
+    events: list[tuple[float, int]] = []
+    for rec in result:
+        events.append((rec.start_time, rec.processors))
+        events.append((rec.end_time, -rec.processors))
+    if not events:
+        return np.array([0.0]), np.array([0])
+    events.sort()
+    times: list[float] = []
+    busy: list[int] = []
+    current = 0
+    for time, delta in events:
+        current += delta
+        if times and times[-1] == time:
+            busy[-1] = current
+        else:
+            times.append(time)
+            busy.append(current)
+    return np.asarray(times), np.asarray(busy)
+
+
+def queue_timeline(result: SimulationResult) -> tuple[np.ndarray, np.ndarray]:
+    """Step function of waiting jobs: ``(times, queued_after_time)``."""
+    events: list[tuple[float, int]] = []
+    for rec in result:
+        events.append((rec.submit_time, 1))
+        events.append((rec.start_time, -1))
+    if not events:
+        return np.array([0.0]), np.array([0])
+    events.sort()
+    times: list[float] = []
+    depth: list[int] = []
+    current = 0
+    for time, delta in events:
+        current += delta
+        if times and times[-1] == time:
+            depth[-1] = current
+        else:
+            times.append(time)
+            depth.append(current)
+    return np.asarray(times), np.asarray(depth)
+
+
+def utilization_profile(
+    result: SimulationResult, n_bins: int = 100
+) -> tuple[np.ndarray, np.ndarray]:
+    """Time-binned utilization in [0, 1]: ``(bin_starts, utilization)``."""
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    times, busy = occupancy_timeline(result)
+    start, end = times[0], max(times[-1], times[0] + 1.0)
+    edges = np.linspace(start, end, n_bins + 1)
+    util = np.zeros(n_bins)
+    for i in range(n_bins):
+        lo, hi = edges[i], edges[i + 1]
+        # integrate the step function over [lo, hi)
+        idx = np.searchsorted(times, lo, side="right") - 1
+        t = lo
+        area = 0.0
+        while t < hi and idx < len(times):
+            seg_end = times[idx + 1] if idx + 1 < len(times) else hi
+            seg_end = min(seg_end, hi)
+            area += busy[max(idx, 0)] * (seg_end - t)
+            t = seg_end
+            idx += 1
+        util[i] = area / ((hi - lo) * result.machine_processors)
+    return edges[:-1], util
+
+
+def ascii_timeline(
+    result: SimulationResult, width: int = 72, height: int = 10
+) -> str:
+    """Render binned utilization as a bar chart for terminal reports."""
+    _starts, util = utilization_profile(result, n_bins=width)
+    grid = [[" "] * width for _ in range(height)]
+    for col, value in enumerate(util):
+        bar = int(round(min(max(value, 0.0), 1.0) * height))
+        for row in range(bar):
+            grid[height - 1 - row][col] = "#"
+    lines = ["|" + "".join(row) for row in grid]
+    axis = "+" + "-" * width
+    return (
+        "utilization over time (100% = top)\n"
+        + "\n".join(lines)
+        + "\n"
+        + axis
+    )

@@ -1,0 +1,119 @@
+"""User requested-time (estimate) model.
+
+Production logs show that user-provided requested times are crude upper
+bounds: users pick *round* values (15 minutes, 1 hour, 4 hours, 1 day...)
+and over-estimate heavily, because the system kills jobs that exceed the
+request (Tsafrir, Etsion & Feitelson 2005, cited by the paper).  This
+module models three documented styles of estimate behaviour:
+
+* ``ROUND_UP`` -- the user multiplies their belief about the runtime by a
+  personal safety margin and rounds *up* to the next round value;
+* ``FIXED``    -- the user always requests the same round value, picked
+  once to cover most of their jobs (very common in practice);
+* ``MAXIMUM``  -- the user always requests the queue maximum.
+
+All three styles keep the invariant ``runtime <= requested_time`` by
+construction (jobs whose sampled runtime exceeds a fixed/max request are
+clamped: in reality those jobs are killed at the limit, which is exactly
+what the logs record).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+__all__ = [
+    "EstimateStyle",
+    "ROUND_VALUES",
+    "round_up_to_round_value",
+    "pick_fixed_request",
+    "requested_time_for",
+]
+
+#: The ladder of "round" requested times users pick from, in seconds.
+#: 5m, 10m, 15m, 30m, 1h, 2h, 3h, 4h, 6h, 8h, 12h, 18h, 1d, 36h, 2d, 3d, 100h
+ROUND_VALUES: tuple[float, ...] = (
+    300.0,
+    600.0,
+    900.0,
+    1800.0,
+    3600.0,
+    7200.0,
+    10800.0,
+    14400.0,
+    21600.0,
+    28800.0,
+    43200.0,
+    64800.0,
+    86400.0,
+    129600.0,
+    172800.0,
+    259200.0,
+    360000.0,
+)
+
+
+class EstimateStyle(Enum):
+    """How a user produces requested times."""
+
+    ROUND_UP = "round_up"
+    FIXED = "fixed"
+    MAXIMUM = "maximum"
+
+
+def round_up_to_round_value(value: float, ceiling: float) -> float:
+    """Smallest round value >= ``value``, capped at ``ceiling``.
+
+    Falls back to ``ceiling`` when ``value`` exceeds every round value,
+    matching queue-limit behaviour.
+    """
+    if value >= ceiling:
+        return ceiling
+    for rv in ROUND_VALUES:
+        if rv >= value:
+            return min(rv, ceiling)
+    return ceiling
+
+
+def pick_fixed_request(typical_runtime: float, margin: float, ceiling: float) -> float:
+    """The round value a FIXED-style user settles on.
+
+    Chosen to cover ``typical_runtime * margin`` so most of the user's
+    jobs finish within it.
+    """
+    return round_up_to_round_value(typical_runtime * margin, ceiling)
+
+
+def requested_time_for(
+    style: EstimateStyle,
+    runtime: float,
+    believed_runtime: float,
+    margin: float,
+    fixed_request: float,
+    ceiling: float,
+    floor: float = 900.0,
+) -> tuple[float, float]:
+    """Return ``(requested_time, possibly_clamped_runtime)`` for one job.
+
+    ``believed_runtime`` is what the user *thinks* the job will run
+    (their session-level belief), which may differ from the sampled
+    ``runtime``; the gap between belief and reality is one source of
+    estimate error.  ``floor`` is the user's minimum-request habit:
+    production users essentially never request only a few minutes, even
+    for seconds-long jobs (effort and safety), which is precisely what
+    makes requested times uninformative for short jobs.  The returned
+    runtime is clamped to the request, modelling the scheduler killing
+    over-running jobs.
+    """
+    if style is EstimateStyle.ROUND_UP:
+        request = round_up_to_round_value(believed_runtime * margin, ceiling)
+    elif style is EstimateStyle.FIXED:
+        request = fixed_request
+    elif style is EstimateStyle.MAXIMUM:
+        request = ceiling
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown estimate style {style!r}")
+    request = min(max(request, floor, 60.0), ceiling)
+    return request, min(runtime, request)

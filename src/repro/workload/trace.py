@@ -1,0 +1,158 @@
+"""Trace container: an ordered collection of jobs plus platform metadata.
+
+A :class:`Trace` is the unit fed to the simulator.  It knows the machine
+size ``m`` (total identical processors) and exposes summary statistics
+used for calibration checks and reporting (Table 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .job import Job
+
+__all__ = ["Trace", "TraceStats"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of a trace (all times in seconds)."""
+
+    n_jobs: int
+    processors: int
+    duration: float
+    total_area: float
+    offered_load: float
+    mean_runtime: float
+    median_runtime: float
+    mean_processors: float
+    mean_overestimation: float
+    n_users: int
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph description."""
+        days = self.duration / 86400.0
+        return (
+            f"{self.n_jobs} jobs over {days:.1f} days on {self.processors} "
+            f"processors; offered load {self.offered_load:.2f}; mean runtime "
+            f"{self.mean_runtime:.0f}s (median {self.median_runtime:.0f}s); "
+            f"mean width {self.mean_processors:.1f} procs; mean requested/actual "
+            f"ratio {self.mean_overestimation:.1f}; {self.n_users} users"
+        )
+
+
+class Trace:
+    """An ordered, validated sequence of jobs on a machine of ``m`` processors.
+
+    Jobs are kept sorted by submit time (ties broken by job id), which is
+    the order the simulator consumes them in.
+    """
+
+    def __init__(
+        self,
+        jobs: Iterable[Job],
+        processors: int,
+        name: str = "trace",
+        unix_start_time: int = 0,
+    ) -> None:
+        if processors <= 0:
+            raise ValueError(f"trace machine size must be > 0, got {processors}")
+        self._jobs: list[Job] = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        self.processors = int(processors)
+        self.name = name
+        self.unix_start_time = int(unix_start_time)
+        for job in self._jobs:
+            if job.processors > self.processors:
+                raise ValueError(
+                    f"job {job.job_id} requests {job.processors} processors but "
+                    f"the machine only has {self.processors}"
+                )
+        ids = [j.job_id for j in self._jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in trace")
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index):
+        return self._jobs[index]
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, n_jobs={len(self)}, m={self.processors})"
+
+    @property
+    def jobs(self) -> Sequence[Job]:
+        """The jobs in submit order (read-only view)."""
+        return tuple(self._jobs)
+
+    # -- derived quantities --------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Time span from first submission to last completion bound."""
+        if not self._jobs:
+            return 0.0
+        start = self._jobs[0].submit_time
+        end = max(j.submit_time + j.runtime for j in self._jobs)
+        return end - start
+
+    def stats(self) -> TraceStats:
+        """Compute summary statistics for calibration and reporting."""
+        if not self._jobs:
+            return TraceStats(0, self.processors, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+        runtimes = np.array([j.runtime for j in self._jobs])
+        procs = np.array([j.processors for j in self._jobs])
+        over = np.array([j.overestimation_factor for j in self._jobs])
+        area = float(np.sum(runtimes * procs))
+        duration = self.duration
+        load = area / (self.processors * duration) if duration > 0 else math.inf
+        return TraceStats(
+            n_jobs=len(self._jobs),
+            processors=self.processors,
+            duration=duration,
+            total_area=area,
+            offered_load=load,
+            mean_runtime=float(runtimes.mean()),
+            median_runtime=float(np.median(runtimes)),
+            mean_processors=float(procs.mean()),
+            mean_overestimation=float(over.mean()),
+            n_users=len({j.user for j in self._jobs}),
+        )
+
+    # -- transformations -----------------------------------------------------
+    def filter(self, predicate: Callable[[Job], bool], name: str | None = None) -> "Trace":
+        """Return a new trace containing only jobs satisfying ``predicate``."""
+        return Trace(
+            (j for j in self._jobs if predicate(j)),
+            processors=self.processors,
+            name=name or self.name,
+            unix_start_time=self.unix_start_time,
+        )
+
+    def head(self, n: int, name: str | None = None) -> "Trace":
+        """Return a new trace with only the first ``n`` jobs (submit order)."""
+        return Trace(
+            self._jobs[: max(0, n)],
+            processors=self.processors,
+            name=name or f"{self.name}[:{n}]",
+            unix_start_time=self.unix_start_time,
+        )
+
+    def rebase_time(self, name: str | None = None) -> "Trace":
+        """Shift submit times so the first job is released at t=0."""
+        if not self._jobs:
+            return self
+        t0 = self._jobs[0].submit_time
+        return Trace(
+            (j.with_updates(submit_time=j.submit_time - t0) for j in self._jobs),
+            processors=self.processors,
+            name=name or self.name,
+            unix_start_time=self.unix_start_time + int(t0),
+        )

@@ -1,0 +1,91 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.results import JobRecord
+from repro.workload import Job, Trace, get_trace
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def make_job(
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    runtime: float = 100.0,
+    processors: int = 1,
+    requested_time: float | None = None,
+    user: int = 1,
+    **kwargs,
+) -> Job:
+    """Job factory with sane defaults (requested defaults to 2x runtime)."""
+    if requested_time is None:
+        requested_time = 2.0 * runtime
+    return Job(
+        job_id=job_id,
+        submit_time=submit_time,
+        runtime=runtime,
+        processors=processors,
+        requested_time=requested_time,
+        user=user,
+        **kwargs,
+    )
+
+
+def make_record(
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    runtime: float = 100.0,
+    processors: int = 1,
+    requested_time: float | None = None,
+    predicted_runtime: float | None = None,
+    user: int = 1,
+) -> JobRecord:
+    """JobRecord factory; prediction defaults to the requested time."""
+    job = make_job(
+        job_id=job_id,
+        submit_time=submit_time,
+        runtime=runtime,
+        processors=processors,
+        requested_time=requested_time,
+        user=user,
+    )
+    record = JobRecord(job=job)
+    record.predicted_runtime = (
+        predicted_runtime if predicted_runtime is not None else job.requested_time
+    )
+    record.initial_prediction = record.predicted_runtime
+    record.raw_prediction = record.predicted_runtime
+    return record
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """Three-job trace reproducing the paper's Figure 2 scenario."""
+    jobs = [
+        make_job(job_id=1, submit_time=0.0, runtime=100.0, processors=3,
+                 requested_time=100.0),
+        make_job(job_id=2, submit_time=0.0, runtime=50.0, processors=3,
+                 requested_time=50.0),
+        make_job(job_id=3, submit_time=0.0, runtime=90.0, processors=1,
+                 requested_time=90.0),
+    ]
+    return Trace(jobs, processors=4, name="figure2")
+
+
+@pytest.fixture(scope="session")
+def kth_trace() -> Trace:
+    """A small KTH-class synthetic trace shared across tests (read-only)."""
+    return get_trace("KTH-SP2", n_jobs=600)
+
+
+@pytest.fixture(scope="session")
+def curie_trace() -> Trace:
+    """A small Curie-class synthetic trace shared across tests (read-only)."""
+    return get_trace("Curie", n_jobs=600)

@@ -1,0 +1,120 @@
+"""Unit tests for the campaign runner (small configurations)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EASY_TRIPLE,
+    EASYPP_TRIPLE,
+    CampaignConfig,
+    HeuristicTriple,
+    run_campaign,
+    run_triple,
+)
+from repro.core.campaign import _DiskCache
+
+
+@pytest.fixture(scope="module")
+def small_campaign(tmp_path_factory):
+    """One tiny log, one replica; cached so all tests share the cost."""
+    cache = tmp_path_factory.mktemp("cache") / "campaign.json"
+    config = CampaignConfig(logs=("KTH-SP2",), n_jobs=250, replicas=1)
+    return run_campaign(config, cache_path=str(cache), workers=8), cache, config
+
+
+class TestRunTriple:
+    def test_outcome_fields(self):
+        outcome = run_triple("KTH-SP2", EASY_TRIPLE.key, n_jobs=150)
+        assert outcome.avebsld >= 1.0
+        assert 0.0 < outcome.utilization <= 1.0
+        assert outcome.corrections == 0  # requested time never under-predicts
+
+    def test_deterministic(self):
+        a = run_triple("KTH-SP2", EASYPP_TRIPLE.key, n_jobs=150)
+        b = run_triple("KTH-SP2", EASYPP_TRIPLE.key, n_jobs=150)
+        assert a.avebsld == b.avebsld
+
+
+class TestCampaign:
+    def test_all_triples_scored(self, small_campaign):
+        result, _, _ = small_campaign
+        scores = result.scores["KTH-SP2"]
+        assert len(scores) == 130  # 128 + 2 clairvoyant references
+        assert all(len(v) == 1 for v in scores.values())
+        assert all(v[0] >= 1.0 for v in scores.values())
+
+    def test_table1_rows(self, small_campaign):
+        result, _, _ = small_campaign
+        rows = result.table1_rows()
+        assert len(rows) == 1
+        log, easy, clair, reduction = rows[0]
+        assert log == "KTH-SP2"
+        assert easy >= 1.0 and clair >= 1.0
+
+    def test_table6_rows(self, small_campaign):
+        result, _, _ = small_campaign
+        (log, cf, cs, easy, easypp, rng_f, rng_s) = result.table6_rows()[0]
+        assert rng_f[0] <= rng_f[1]
+        assert rng_s[0] <= rng_s[1]
+
+    def test_learning_range_over_60_triples(self, small_campaign):
+        result, _, _ = small_campaign
+        best, worst = result.learning_range("KTH-SP2", "easy-sjbf")
+        assert best <= worst
+
+    def test_best_triple_minimises_sum(self, small_campaign):
+        result, _, _ = small_campaign
+        best = result.best_triple()
+        scores = [result.mean("KTH-SP2", t) for t in result.triple_keys()]
+        assert result.mean("KTH-SP2", best) == pytest.approx(min(scores))
+
+    def test_score_vector(self, small_campaign):
+        result, _, _ = small_campaign
+        keys = result.triple_keys()
+        vec = result.score_vector("KTH-SP2", keys)
+        assert vec.shape == (128,)
+
+    def test_cache_reused(self, small_campaign):
+        result, cache, config = small_campaign
+        # second run must be served from cache (no new entries)
+        before = json.loads(cache.read_text())
+        again = run_campaign(config, cache_path=str(cache), workers=1)
+        after = json.loads(cache.read_text())
+        assert before == after
+        assert again.scores == result.scores
+
+    def test_cache_token_distinguishes_inputs(self):
+        c1 = CampaignConfig(n_jobs=100)
+        c2 = CampaignConfig(n_jobs=200)
+        t = EASY_TRIPLE.key
+        assert c1.cache_token("A", t, 1) != c2.cache_token("A", t, 1)
+        assert c1.cache_token("A", t, 1) != c1.cache_token("B", t, 1)
+        assert c1.cache_token("A", t, 1) != c1.cache_token("A", t, 2)
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = _DiskCache(str(path))
+        cache.put("k", 1.5)
+        cache.flush()
+        again = _DiskCache(str(path))
+        assert again.get("k") == 1.5
+
+    def test_missing_returns_none(self, tmp_path):
+        cache = _DiskCache(str(tmp_path / "missing.json"))
+        assert cache.get("k") is None
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        cache = _DiskCache(str(path))
+        assert cache.get("k") is None
+
+    def test_none_path_noop(self):
+        cache = _DiskCache(None)
+        cache.put("k", 1.0)
+        cache.flush()  # must not raise
+        assert cache.get("k") == 1.0

@@ -1,0 +1,80 @@
+"""Unit tests for leave-one-out triple selection (synthetic scores)."""
+
+import pytest
+
+from repro.core import (
+    EASY_TRIPLE,
+    EASYPP_TRIPLE,
+    CampaignConfig,
+    CampaignResult,
+    average_reductions,
+    campaign_triples,
+    leave_one_out,
+    reference_triples,
+    selection_consensus,
+)
+
+
+def fabricated_result(winner_key: str, logs=("A", "B", "C")) -> CampaignResult:
+    """Hand-built campaign scores where ``winner_key`` dominates everywhere."""
+    config = CampaignConfig(logs=tuple(logs), n_jobs=10, replicas=1)
+    result = CampaignResult(config=config)
+    for log_idx, log in enumerate(logs):
+        result.scores[log] = {}
+        for t_idx, triple in enumerate(campaign_triples() + reference_triples()):
+            base = 50.0 + 3.0 * t_idx + 10.0 * log_idx
+            if triple.key == winner_key:
+                base = 5.0
+            if triple == EASY_TRIPLE:
+                base = 100.0
+            if triple == EASYPP_TRIPLE:
+                base = 60.0
+            result.scores[log][triple.key] = [base]
+    return result
+
+
+class TestLeaveOneOut:
+    def test_selects_dominant_triple_in_every_fold(self):
+        winner = "ml:sq-lin-large-area|incremental|easy-sjbf"
+        rows = leave_one_out(fabricated_result(winner))
+        assert len(rows) == 3
+        assert all(row.selected.key == winner for row in rows)
+
+    def test_scores_reported_on_held_out_log(self):
+        winner = "ml:sq-lin-large-area|incremental|easy-sjbf"
+        rows = leave_one_out(fabricated_result(winner))
+        for row in rows:
+            assert row.cv_score == 5.0
+            assert row.easy_score == 100.0
+            assert row.easypp_score == 60.0
+
+    def test_reductions(self):
+        winner = "ml:sq-lin-large-area|incremental|easy-sjbf"
+        rows = leave_one_out(fabricated_result(winner))
+        assert rows[0].reduction_vs_easy == pytest.approx(95.0)
+        assert rows[0].reduction_vs_easypp == pytest.approx(55.0 / 60.0 * 100.0)
+        vs_easy, vs_easypp = average_reductions(rows)
+        assert vs_easy == pytest.approx(95.0)
+
+    def test_consensus(self):
+        winner = "ml:lin-lin-constant|doubling|easy"
+        rows = leave_one_out(fabricated_result(winner))
+        triple, folds = selection_consensus(rows)
+        assert triple.key == winner
+        assert folds == 3
+
+    def test_clairvoyant_never_selected(self):
+        """The references are upper bounds, not deployable triples."""
+        rows = leave_one_out(fabricated_result("nonexistent-key"))
+        assert all(not row.selected.is_clairvoyant for row in rows)
+
+    def test_single_log_rejected(self):
+        result = fabricated_result("x", logs=("A",))
+        with pytest.raises(ValueError):
+            leave_one_out(result)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            selection_consensus([])
+        with pytest.raises(ValueError):
+            average_reductions([])

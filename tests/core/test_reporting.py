@@ -1,0 +1,58 @@
+"""Unit tests for report formatting."""
+
+import pytest
+
+from repro.core.reporting import ascii_scatter, format_percent, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["Log", "Score"], [("KTH", 12.345), ("C", 7.0)])
+        lines = table.splitlines()
+        assert lines[0].startswith("Log")
+        assert "12.3" in table
+        assert "7.0" in table
+
+    def test_title(self):
+        table = format_table(["A"], [("x",)], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_mixed_types(self):
+        table = format_table(["A", "B"], [("row", "1.2 - 3.4")])
+        assert "1.2 - 3.4" in table
+
+
+class TestFormatPercent:
+    def test_paper_style(self):
+        assert format_percent(28.4) == "(28%)"
+        assert format_percent(-72.0) == "(-72%)"
+
+
+class TestAsciiScatter:
+    def test_renders_series_markers(self):
+        chart = ascii_scatter(
+            {"one": [(1.0, 1.0), (2.0, 2.0)], "two": [(3.0, 1.0)]},
+            x_label="x", y_label="y",
+        )
+        assert "one" in chart and "two" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_log_scale(self):
+        chart = ascii_scatter({"s": [(1.0, 1.0), (1000.0, 1000.0)]}, log_scale=True)
+        assert "log10" not in chart  # only shown with labels
+        chart = ascii_scatter(
+            {"s": [(1.0, 1.0), (1000.0, 1000.0)]}, log_scale=True, x_label="a", y_label="b"
+        )
+        assert "log10" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({"s": [(0.0, 1.0)]}, log_scale=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+
+    def test_single_point_no_crash(self):
+        chart = ascii_scatter({"s": [(5.0, 5.0)]})
+        assert "*" in chart

@@ -1,0 +1,82 @@
+"""Unit tests for heuristic-triple enumeration."""
+
+import pytest
+
+from repro.core import (
+    EASY_TRIPLE,
+    EASYPP_TRIPLE,
+    ELOSS_TRIPLE,
+    HeuristicTriple,
+    campaign_triples,
+    reference_triples,
+)
+from repro.correct import IncrementalCorrector
+from repro.predict import MLPredictor, RequestedTimePredictor
+from repro.sched import EasyScheduler
+
+
+class TestEnumeration:
+    def test_exactly_128_triples(self):
+        """The paper: 'the experimental campaign runs 128 simulations'."""
+        triples = campaign_triples()
+        assert len(triples) == 128
+        assert len({t.key for t in triples}) == 128
+
+    def test_composition(self):
+        triples = campaign_triples()
+        requested = [t for t in triples if t.predictor == "requested"]
+        ave2 = [t for t in triples if t.predictor == "ave2"]
+        learning = [t for t in triples if t.uses_learning]
+        assert len(requested) == 2  # 2 schedulers, no correction needed
+        assert len(ave2) == 6  # 3 correctors x 2 schedulers
+        assert len(learning) == 120  # 20 losses x 3 correctors x 2 schedulers
+
+    def test_no_clairvoyant_in_campaign(self):
+        assert not any(t.is_clairvoyant for t in campaign_triples())
+
+    def test_references(self):
+        refs = reference_triples()
+        assert len(refs) == 2
+        assert all(t.is_clairvoyant for t in refs)
+
+    def test_named_triples_in_campaign(self):
+        keys = {t.key for t in campaign_triples()}
+        assert EASY_TRIPLE.key in keys
+        assert EASYPP_TRIPLE.key in keys
+        assert ELOSS_TRIPLE.key in keys
+
+
+class TestTripleMechanics:
+    def test_key_round_trip(self):
+        for triple in campaign_triples()[:10]:
+            assert HeuristicTriple.from_key(triple.key) == triple
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicTriple.from_key("a|b")
+
+    def test_build_easy(self):
+        scheduler, predictor, corrector = EASY_TRIPLE.build()
+        assert isinstance(scheduler, EasyScheduler)
+        assert scheduler.backfill_order == "fcfs"
+        assert isinstance(predictor, RequestedTimePredictor)
+        assert corrector is None
+
+    def test_build_eloss_winner(self):
+        scheduler, predictor, corrector = ELOSS_TRIPLE.build()
+        assert isinstance(scheduler, EasyScheduler)
+        assert scheduler.backfill_order == "sjbf"
+        assert isinstance(predictor, MLPredictor)
+        assert predictor.loss.key == "sq-lin-large-area"
+        assert isinstance(corrector, IncrementalCorrector)
+
+    def test_build_returns_fresh_state(self):
+        s1, p1, c1 = EASYPP_TRIPLE.build()
+        s2, p2, c2 = EASYPP_TRIPLE.build()
+        assert s1 is not s2
+        assert p1 is not p2
+
+    def test_describe_special_names(self):
+        assert "EASY" in EASY_TRIPLE.describe()
+        assert "EASY++" in EASYPP_TRIPLE.describe()
+        assert "winner" in ELOSS_TRIPLE.describe()

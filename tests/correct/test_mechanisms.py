@@ -1,0 +1,95 @@
+"""Unit tests for the correction mechanisms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.correct import (
+    INCREMENTS,
+    IncrementalCorrector,
+    RecursiveDoublingCorrector,
+    RequestedTimeCorrector,
+    make_corrector,
+)
+
+from ..conftest import make_record
+
+
+def expired_record(predicted=600.0, requested=36000.0, corrections=0):
+    """A record whose prediction just expired at now = start + predicted."""
+    rec = make_record(runtime=10000.0, requested_time=requested,
+                      predicted_runtime=predicted)
+    rec.start_time = 0.0
+    rec.corrections = corrections
+    return rec
+
+
+class TestRequestedTime:
+    def test_jumps_to_requested(self):
+        rec = expired_record()
+        assert RequestedTimeCorrector().correct(rec, now=600.0) == 36000.0
+
+
+class TestIncremental:
+    def test_ladder_matches_paper(self):
+        """1min, 5min, 15min, 30min, 1h, 2h, 5h, 10h, 20h, 50h, 100h."""
+        minutes = [1, 5, 15, 30, 60, 120, 300, 600, 1200, 3000, 6000]
+        assert INCREMENTS == tuple(m * 60.0 for m in minutes)
+
+    def test_first_correction_adds_one_minute(self):
+        rec = expired_record(predicted=600.0)
+        value = IncrementalCorrector().correct(rec, now=600.0)
+        assert value == 600.0 + 60.0
+
+    def test_successive_corrections_grow(self):
+        corr = IncrementalCorrector()
+        rec = expired_record(predicted=600.0)
+        previous = rec.predicted_runtime
+        for k in range(len(INCREMENTS) + 3):
+            rec.corrections = k
+            now = rec.start_time + rec.predicted_runtime
+            new = corr.correct(rec, now)
+            assert new > previous
+            rec.predicted_runtime = new
+            previous = new
+
+    def test_saturates_at_last_increment(self):
+        rec = expired_record(predicted=600.0, corrections=99)
+        value = IncrementalCorrector().correct(rec, now=600.0)
+        assert value == 600.0 + INCREMENTS[-1]
+
+
+class TestRecursiveDoubling:
+    def test_doubles_elapsed(self):
+        rec = expired_record(predicted=600.0)
+        assert RecursiveDoublingCorrector().correct(rec, now=600.0) == 1200.0
+
+    def test_doubles_current_prediction_when_larger(self):
+        rec = expired_record(predicted=600.0)
+        # fire late (engine lag): elapsed 700 > predicted
+        assert RecursiveDoublingCorrector().correct(rec, now=700.0) == 1400.0
+
+
+class TestRegistry:
+    def test_names(self):
+        assert isinstance(make_corrector("requested"), RequestedTimeCorrector)
+        assert isinstance(make_corrector("incremental"), IncrementalCorrector)
+        assert isinstance(make_corrector("doubling"), RecursiveDoublingCorrector)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_corrector("bogus")
+
+
+@given(
+    corrector_name=st.sampled_from(["requested", "incremental", "doubling"]),
+    predicted=st.floats(min_value=60.0, max_value=5000.0),
+    corrections=st.integers(min_value=0, max_value=15),
+)
+def test_corrections_always_progress(corrector_name, predicted, corrections):
+    """Property: every mechanism returns strictly more than the elapsed
+    time, so the engine's expiry loop terminates."""
+    rec = expired_record(predicted=predicted, corrections=corrections)
+    now = rec.start_time + rec.predicted_runtime
+    value = make_corrector(corrector_name).correct(rec, now)
+    assert value > now - rec.start_time

@@ -1,0 +1,68 @@
+"""Unit tests for cross-log correlation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import correlation_summary, pairwise_correlations, pearson
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, 2 * x + 5) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5000)
+        y = rng.normal(size=5000)
+        assert abs(pearson(x, y)) < 0.05
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        y = x + rng.normal(size=100)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_validates_size(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0]), np.array([1.0]))
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+
+class TestPairwise:
+    def scores(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=30)
+        return {
+            "A": base + rng.normal(scale=0.1, size=30),
+            "B": base + rng.normal(scale=2.0, size=30),
+            "C": rng.normal(size=30),
+        }
+
+    def test_all_pairs_present(self):
+        corr = pairwise_correlations(self.scores())
+        assert set(corr) == {("A", "B"), ("A", "C"), ("B", "C")}
+
+    def test_summary(self):
+        summary = correlation_summary(self.scores())
+        assert summary["n_pairs"] == 3
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            pairwise_correlations({"A": np.ones(3), "B": np.ones(4)})
+
+    def test_needs_two_logs(self):
+        with pytest.raises(ValueError):
+            pairwise_correlations({"A": np.ones(3)})

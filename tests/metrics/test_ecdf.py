@@ -1,0 +1,58 @@
+"""Unit + property tests for ECDF computation and ASCII charts."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import ascii_ecdf_chart, ecdf, ecdf_at
+
+
+class TestEcdf:
+    def test_simple(self):
+        x, y = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert y.tolist() == [1 / 3, 2 / 3, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+    def test_ecdf_at_points(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        out = ecdf_at(values, np.array([0.0, 2.5, 10.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_ecdf_at_is_right_continuous(self):
+        values = np.array([1.0, 1.0, 2.0])
+        assert ecdf_at(values, np.array([1.0]))[0] == pytest.approx(2 / 3)
+
+
+class TestAsciiChart:
+    def test_renders_all_series(self):
+        chart = ascii_ecdf_chart(
+            {"a": np.array([1.0, 2.0]), "b": np.array([3.0, 4.0])},
+            x_min=0.0, x_max=5.0, x_label="hours",
+        )
+        assert "a" in chart and "b" in chart
+        assert "hours" in chart
+        assert "1.00 |" in chart
+        assert "0.00 |" in chart
+
+    def test_validates_range(self):
+        with pytest.raises(ValueError):
+            ascii_ecdf_chart({"a": np.array([1.0])}, x_min=5.0, x_max=5.0)
+
+    def test_validates_empty(self):
+        with pytest.raises(ValueError):
+            ascii_ecdf_chart({}, 0.0, 1.0)
+
+
+@given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=200))
+def test_ecdf_properties(values):
+    """Properties: monotone, in [0,1], ends at 1, sorted support."""
+    x, y = ecdf(np.array(values))
+    assert (np.diff(x) >= 0).all()
+    assert (np.diff(y) > 0).all()
+    assert 0 < y[0] <= 1.0
+    assert y[-1] == pytest.approx(1.0)

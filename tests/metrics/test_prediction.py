@@ -1,0 +1,68 @@
+"""Unit tests for the prediction-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mean_absolute_error, mean_loss, prediction_errors
+from repro.metrics.prediction import prediction_report, under_prediction_rate
+from repro.predict import E_LOSS, SQUARED_LOSS
+from repro.sim.results import SimulationResult
+
+from ..conftest import make_record
+
+
+def result_with_predictions(pred_actual_pairs, processors=4):
+    records = []
+    for i, (prediction, runtime) in enumerate(pred_actual_pairs, start=1):
+        rec = make_record(job_id=i, runtime=runtime, processors=processors,
+                          requested_time=max(prediction, runtime) * 2)
+        rec.initial_prediction = prediction
+        rec.start_time = 0.0
+        rec.end_time = runtime
+        records.append(rec)
+    return SimulationResult(records, machine_processors=64)
+
+
+class TestErrorMetrics:
+    def test_signed_errors(self):
+        result = result_with_predictions([(150.0, 100.0), (50.0, 100.0)])
+        assert prediction_errors(result).tolist() == [50.0, -50.0]
+
+    def test_mae(self):
+        result = result_with_predictions([(150.0, 100.0), (40.0, 100.0)])
+        assert mean_absolute_error(result) == pytest.approx(55.0)
+
+    def test_under_prediction_rate(self):
+        result = result_with_predictions([(150.0, 100.0), (50.0, 100.0), (100.0, 100.0)])
+        assert under_prediction_rate(result) == pytest.approx(1 / 3)
+
+    def test_mean_loss_eloss(self):
+        result = result_with_predictions([(150.0, 100.0)])
+        gamma = np.log(100.0 * 4)
+        assert mean_loss(result, E_LOSS) == pytest.approx(gamma * 50.0**2)
+
+    def test_report_keys(self):
+        result = result_with_predictions([(150.0, 100.0), (50.0, 100.0)])
+        report = prediction_report(result, SQUARED_LOSS)
+        assert set(report) == {"mae", "mean_loss", "under_rate", "over_rate", "mean_error"}
+        assert report["under_rate"] + report["over_rate"] <= 1.0
+
+    def test_perfect_predictions(self):
+        result = result_with_predictions([(100.0, 100.0)] * 3)
+        assert mean_absolute_error(result) == 0.0
+        assert mean_loss(result, E_LOSS) == 0.0
+
+
+class TestTable8Shape:
+    def test_accurate_but_overpredicting_loses_on_eloss(self):
+        """An AVE2-like predictor (small symmetric errors, occasionally
+        hugely over) has lower MAE but far higher E-Loss than a predictor
+        that always slightly under-predicts -- Table 8's phenomenon."""
+        runtimes = [1000.0] * 100
+        ave2_like = [(1050.0 if i % 2 else 950.0, r) for i, r in enumerate(runtimes)]
+        ave2_like[10] = (30000.0, 1000.0)  # one catastrophic over-prediction
+        eloss_like = [(r - 400.0, r) for r in runtimes]
+        res_a = result_with_predictions(ave2_like)
+        res_b = result_with_predictions(eloss_like)
+        assert mean_absolute_error(res_a) < mean_absolute_error(res_b)
+        assert mean_loss(res_a, E_LOSS) > mean_loss(res_b, E_LOSS)

@@ -1,0 +1,58 @@
+"""Unit + property tests for the bounded-slowdown metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import DEFAULT_TAU, bounded_slowdowns
+
+
+class TestBoundedSlowdown:
+    def test_paper_formula(self):
+        # bsld = max((wait + p) / max(p, tau), 1)
+        values = bounded_slowdowns(np.array([90.0]), np.array([10.0]))
+        assert values[0] == pytest.approx(10.0)
+
+    def test_tau_guards_short_jobs(self):
+        # a 1-second job waiting 9 seconds: (9+1)/max(1,10) = 1
+        values = bounded_slowdowns(np.array([9.0]), np.array([1.0]))
+        assert values[0] == 1.0
+
+    def test_floor_is_one(self):
+        values = bounded_slowdowns(np.array([0.0]), np.array([100.0]))
+        assert values[0] == 1.0
+
+    def test_default_tau_is_ten(self):
+        assert DEFAULT_TAU == 10.0
+
+    def test_validates_negative_wait(self):
+        with pytest.raises(ValueError):
+            bounded_slowdowns(np.array([-1.0]), np.array([10.0]))
+
+    def test_validates_runtime(self):
+        with pytest.raises(ValueError):
+            bounded_slowdowns(np.array([1.0]), np.array([0.0]))
+
+    def test_validates_shape(self):
+        with pytest.raises(ValueError):
+            bounded_slowdowns(np.array([1.0, 2.0]), np.array([10.0]))
+
+    def test_validates_tau(self):
+        with pytest.raises(ValueError):
+            bounded_slowdowns(np.array([1.0]), np.array([10.0]), tau=0.0)
+
+
+@given(
+    waits=st.lists(st.floats(min_value=0.0, max_value=1e7), min_size=1, max_size=50),
+    runtimes=st.lists(st.floats(min_value=0.1, max_value=1e7), min_size=50, max_size=50),
+)
+def test_bsld_properties(waits, runtimes):
+    """Properties: bsld >= 1; monotone in wait; runtime-bounded scaling."""
+    n = len(waits)
+    w = np.array(waits)
+    p = np.array(runtimes[:n])
+    values = bounded_slowdowns(w, p)
+    assert (values >= 1.0).all()
+    bumped = bounded_slowdowns(w + 10.0, p)
+    assert (bumped >= values - 1e-12).all()

@@ -1,0 +1,107 @@
+"""Unit tests for the baseline predictors and the predictor registry."""
+
+import pytest
+
+from repro.predict import (
+    ClairvoyantPredictor,
+    MLPredictor,
+    RecentAveragePredictor,
+    RequestedTimePredictor,
+    make_predictor,
+)
+
+from ..conftest import make_record
+
+
+class TestClairvoyant:
+    def test_predicts_actual(self):
+        rec = make_record(runtime=123.0)
+        assert ClairvoyantPredictor().predict(rec, 0.0) == 123.0
+
+
+class TestRequested:
+    def test_predicts_requested(self):
+        rec = make_record(runtime=123.0, requested_time=1000.0)
+        assert RequestedTimePredictor().predict(rec, 0.0) == 1000.0
+
+
+class TestRecentAverage:
+    def run_job(self, pred, rec, start, end):
+        pred.on_start(rec, start)
+        pred.on_finish(rec, end)
+
+    def test_cold_start_falls_back_to_requested(self):
+        pred = RecentAveragePredictor(2)
+        rec = make_record(requested_time=500.0)
+        assert pred.predict(rec, 0.0) == 500.0
+
+    def test_one_completion(self):
+        pred = RecentAveragePredictor(2)
+        first = make_record(job_id=1, runtime=100.0)
+        pred.predict(first, 0.0)
+        self.run_job(pred, first, 0.0, 100.0)
+        second = make_record(job_id=2)
+        assert pred.predict(second, 200.0) == 100.0
+
+    def test_average_of_last_two(self):
+        pred = RecentAveragePredictor(2)
+        for i, runtime in enumerate((100.0, 300.0, 500.0), start=1):
+            rec = make_record(job_id=i, runtime=runtime)
+            pred.predict(rec, float(i))
+            self.run_job(pred, rec, float(i), float(i) + runtime)
+        probe = make_record(job_id=9)
+        # last two completions: 300, 500
+        assert pred.predict(probe, 1000.0) == pytest.approx(400.0)
+
+    def test_users_isolated(self):
+        pred = RecentAveragePredictor(2)
+        a = make_record(job_id=1, user=1, runtime=100.0)
+        pred.predict(a, 0.0)
+        self.run_job(pred, a, 0.0, 100.0)
+        other = make_record(job_id=2, user=2, requested_time=999.0)
+        assert pred.predict(other, 200.0) == 999.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            RecentAveragePredictor(0)
+
+    def test_ave3(self):
+        pred = RecentAveragePredictor(3)
+        for i, runtime in enumerate((100.0, 200.0, 600.0), start=1):
+            rec = make_record(job_id=i, runtime=runtime)
+            pred.predict(rec, float(i))
+            self.run_job(pred, rec, float(i), float(i) + runtime)
+        probe = make_record(job_id=9)
+        assert pred.predict(probe, 1000.0) == pytest.approx(300.0)
+
+
+class TestRegistry:
+    def test_baselines(self):
+        assert isinstance(make_predictor("clairvoyant"), ClairvoyantPredictor)
+        assert isinstance(make_predictor("requested"), RequestedTimePredictor)
+        ave = make_predictor("ave2")
+        assert isinstance(ave, RecentAveragePredictor)
+        assert ave.k == 2
+        assert make_predictor("ave3").k == 3
+
+    def test_ml_keys(self):
+        pred = make_predictor("ml:sq-lin-large-area")
+        assert isinstance(pred, MLPredictor)
+        assert pred.loss.over == "squared"
+        assert pred.loss.under == "linear"
+        assert pred.loss.weight == "large-area"
+
+    def test_all_twenty_ml_keys_resolve(self):
+        from repro.predict import all_loss_specs
+
+        for spec in all_loss_specs():
+            pred = make_predictor(f"ml:{spec.key}")
+            assert pred.loss == spec
+
+    def test_malformed_ml_key_rejected(self):
+        with pytest.raises(KeyError):
+            make_predictor("ml:cubic-lin-constant")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_predictor("oracle")

@@ -1,0 +1,68 @@
+"""Unit tests for the degree-2 polynomial basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predict.basis import PolynomialBasis
+
+
+class TestExpansion:
+    def test_dimension_formula(self):
+        # the paper: w in R^{1 + 2n + C(n,2)}
+        for n in (1, 2, 5, 20):
+            basis = PolynomialBasis(n)
+            assert basis.dim == 1 + 2 * n + n * (n - 1) // 2
+
+    def test_small_example(self):
+        basis = PolynomialBasis(2)
+        phi = basis.expand(np.array([2.0, 3.0]))
+        assert phi.tolist() == [1.0, 2.0, 3.0, 4.0, 9.0, 6.0]
+
+    def test_constant_term_first(self):
+        basis = PolynomialBasis(4)
+        phi = basis.expand(np.zeros(4))
+        assert phi[0] == 1.0
+        assert np.all(phi[1:] == 0.0)
+
+    def test_wrong_shape_rejected(self):
+        basis = PolynomialBasis(3)
+        with pytest.raises(ValueError):
+            basis.expand(np.ones(4))
+
+    def test_nonfinite_rejected(self):
+        basis = PolynomialBasis(2)
+        with pytest.raises(ValueError):
+            basis.expand(np.array([1.0, np.nan]))
+
+    def test_term_names(self):
+        basis = PolynomialBasis(2)
+        names = basis.term_names(("a", "b"))
+        assert names == ["1", "a", "b", "a^2", "b^2", "a*b"]
+
+    def test_term_names_length_matches_dim(self):
+        basis = PolynomialBasis(7)
+        assert len(basis.term_names()) == basis.dim
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            PolynomialBasis(0)
+
+
+@given(
+    x=st.lists(
+        st.floats(min_value=-100.0, max_value=100.0), min_size=3, max_size=3
+    )
+)
+def test_expansion_contains_all_products(x):
+    """Property: every pairwise product x_i x_j appears exactly once."""
+    basis = PolynomialBasis(3)
+    phi = basis.expand(np.array(x))
+    expected = [
+        1.0,
+        x[0], x[1], x[2],
+        x[0] ** 2, x[1] ** 2, x[2] ** 2,
+        x[0] * x[1], x[0] * x[2], x[1] * x[2],
+    ]
+    assert np.allclose(phi, expected)

@@ -1,0 +1,106 @@
+"""Unit tests for the online ML predictor."""
+
+import numpy as np
+import pytest
+
+from repro.correct import IncrementalCorrector
+from repro.predict import E_LOSS, SQUARED_LOSS, MLPredictor
+from repro.sched import EasyScheduler
+from repro.sim import simulate
+
+from ..conftest import make_record
+
+
+def feed_user_stream(pred, runtimes, requested=36000.0, user=1, start_id=1):
+    """Simulate submit->start->finish cycles for a stream of jobs."""
+    predictions = []
+    now = 0.0
+    for i, runtime in enumerate(runtimes):
+        rec = make_record(
+            job_id=start_id + i, submit_time=now, runtime=runtime,
+            requested_time=requested, user=user,
+        )
+        predictions.append(pred.predict(rec, now))
+        pred.on_start(rec, now)
+        pred.on_finish(rec, now + runtime)
+        now += runtime + 60.0
+    return predictions
+
+
+class TestLearning:
+    def test_cold_start_prediction_is_clamped(self):
+        pred = MLPredictor(SQUARED_LOSS)
+        rec = make_record(requested_time=500.0)
+        value = pred.predict(rec, 0.0)
+        assert 0.0 <= value <= 500.0
+
+    def test_learns_repetitive_user(self):
+        """A user always running ~2h jobs must be predicted near 2h after
+        enough observations."""
+        pred = MLPredictor(SQUARED_LOSS, eta=0.5)
+        rng = np.random.default_rng(0)
+        runtimes = list(rng.normal(7200.0, 200.0, size=300).clip(600))
+        predictions = feed_user_stream(pred, runtimes)
+        late = np.array(predictions[-50:])
+        assert abs(np.median(late) - 7200.0) < 2000.0
+
+    def test_eloss_biases_towards_underprediction(self):
+        """Under E-Loss, over-prediction costs quadratically but
+        under-prediction only linearly, so the late predictions sit at or
+        below the symmetric-loss ones (paper Fig. 4/5)."""
+        rng_runtimes = list(np.random.default_rng(1).normal(7200.0, 800.0, 400).clip(600))
+        sq = MLPredictor(SQUARED_LOSS, eta=0.5)
+        el = MLPredictor(E_LOSS, eta=0.5)
+        p_sq = np.array(feed_user_stream(sq, list(rng_runtimes)))
+        p_el = np.array(feed_user_stream(el, list(rng_runtimes)))
+        assert np.median(p_el[-100:]) <= np.median(p_sq[-100:]) + 200.0
+
+    def test_updates_counted(self):
+        pred = MLPredictor(SQUARED_LOSS)
+        feed_user_stream(pred, [100.0, 200.0, 300.0])
+        assert pred.n_updates == 3
+        assert pred.mean_training_loss() >= 0.0
+
+    def test_unknown_finish_ignored(self):
+        """A completion the predictor never saw submitted must not crash
+        (warm-started simulations)."""
+        pred = MLPredictor(SQUARED_LOSS)
+        rec = make_record()
+        pred.on_finish(rec, 100.0)  # no pending features
+        assert pred.n_updates == 0
+
+    def test_target_scale_validation(self):
+        with pytest.raises(ValueError):
+            MLPredictor(SQUARED_LOSS, target_scale=0.0)
+
+    def test_name_embeds_loss_key(self):
+        assert MLPredictor(E_LOSS).name == "ml:sq-lin-large-area"
+
+    def test_weights_accessible(self):
+        pred = MLPredictor(SQUARED_LOSS)
+        feed_user_stream(pred, [100.0] * 5)
+        w = pred.weights
+        assert w.shape[0] == pred._basis.dim
+        assert np.any(w != 0.0)
+
+
+class TestInSimulation:
+    def test_full_simulation_with_ml(self, kth_trace):
+        result = simulate(
+            kth_trace, EasyScheduler("sjbf"), MLPredictor(E_LOSS),
+            IncrementalCorrector(),
+        )
+        assert len(result) == len(kth_trace)
+        # predictions were bounded by requested times
+        assert (result.initial_predictions <= result.requested_times + 1e-9).all()
+
+    def test_ml_beats_requested_time_mae_eventually(self, kth_trace):
+        """On a history-rich synthetic log, the learning predictor's MAE
+        should beat the raw requested times (which over-estimate wildly)."""
+        from repro.metrics import mean_absolute_error
+        from repro.predict import RequestedTimePredictor
+
+        ml = simulate(kth_trace, EasyScheduler("sjbf"), MLPredictor(SQUARED_LOSS),
+                      IncrementalCorrector())
+        req = simulate(kth_trace, EasyScheduler("sjbf"), RequestedTimePredictor())
+        assert mean_absolute_error(ml) < mean_absolute_error(req)

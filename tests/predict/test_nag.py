@@ -1,0 +1,110 @@
+"""Unit + property tests for the NAG optimiser.
+
+The key property, and the reason the paper picked NAG: robustness to
+feature scaling.  Rescaling any input coordinate by a constant must leave
+the model's *predictions* unchanged (it absorbs into the weights).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predict.nag import NagOptimizer
+
+
+def squared_grad(pred: float, target: float) -> float:
+    return 2.0 * (pred - target)
+
+
+class TestBasics:
+    def test_initial_prediction_zero(self):
+        opt = NagOptimizer(3)
+        assert opt.predict(np.ones(3)) == 0.0
+
+    def test_learns_linear_function(self, rng):
+        """Online regression on y = 2 x1 - 3 x2 + 1 converges."""
+        opt = NagOptimizer(3, eta=0.5)
+        w_true = np.array([1.0, 2.0, -3.0])
+        for _ in range(3000):
+            x = np.array([1.0, rng.uniform(-1, 1), rng.uniform(-1, 1)])
+            y = float(w_true @ x)
+            opt.update(x, squared_grad(opt.predict(x), y))
+        errors = []
+        for _ in range(200):
+            x = np.array([1.0, rng.uniform(-1, 1), rng.uniform(-1, 1)])
+            errors.append(abs(opt.predict(x) - float(w_true @ x)))
+        assert np.mean(errors) < 0.15
+
+    def test_handles_unscaled_features(self, rng):
+        """Same convergence when one feature lives at 1e6 scale."""
+        opt = NagOptimizer(3, eta=0.5)
+        for _ in range(3000):
+            x = np.array([1.0, rng.uniform(-1, 1) * 1e6, rng.uniform(-1, 1)])
+            y = 2e-6 * x[1] - 3.0 * x[2]
+            opt.update(x, squared_grad(opt.predict(x), y))
+        errors = []
+        for _ in range(200):
+            x = np.array([1.0, rng.uniform(-1, 1) * 1e6, rng.uniform(-1, 1)])
+            errors.append(abs(opt.predict(x) - (2e-6 * x[1] - 3.0 * x[2])))
+        assert np.mean(errors) < 0.2
+
+    def test_validates_dimension(self):
+        opt = NagOptimizer(3)
+        with pytest.raises(ValueError):
+            opt.update(np.ones(4), 1.0)
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            NagOptimizer(0)
+        with pytest.raises(ValueError):
+            NagOptimizer(3, eta=0.0)
+        with pytest.raises(ValueError):
+            NagOptimizer(3, l2=-1.0)
+
+    def test_l2_shrinks_weights(self, rng):
+        """Stronger ridge -> smaller weight norm on the same data."""
+        def train(l2):
+            opt = NagOptimizer(2, eta=0.5, l2=l2)
+            gen = np.random.default_rng(0)
+            for _ in range(800):
+                x = np.array([1.0, gen.uniform(-1, 1)])
+                y = 5.0 * x[1]
+                opt.update(x, squared_grad(opt.predict(x), y))
+            return float(np.linalg.norm(opt.w))
+
+        assert train(1.0) < train(0.0)
+
+    def test_state_summary(self):
+        opt = NagOptimizer(2)
+        opt.update(np.array([1.0, 2.0]), 1.0)
+        summary = opt.state_summary()
+        assert summary["t"] == 1.0
+        assert summary["seen_coordinates"] == 2.0
+
+
+class TestScaleInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scale=st.floats(min_value=1e-4, max_value=1e4),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_predictions_invariant_to_feature_scaling(self, scale, seed):
+        """NAG's defining property (Ross et al. 2013): pre-scaling a
+        coordinate by any constant leaves all predictions unchanged."""
+        gen = np.random.default_rng(seed)
+        xs = gen.uniform(-2.0, 2.0, size=(60, 3))
+        ys = xs @ np.array([1.5, -2.0, 0.5]) + gen.normal(0, 0.1, size=60)
+
+        opt_a = NagOptimizer(3, eta=0.3)
+        opt_b = NagOptimizer(3, eta=0.3)
+        scaling = np.array([1.0, scale, 1.0])
+        preds_a, preds_b = [], []
+        for x, y in zip(xs, ys):
+            pa = opt_a.predict(x)
+            pb = opt_b.predict(x * scaling)
+            preds_a.append(pa)
+            preds_b.append(pb)
+            opt_a.update(x, squared_grad(pa, float(y)))
+            opt_b.update(x * scaling, squared_grad(pb, float(y)))
+        assert np.allclose(preds_a, preds_b, rtol=1e-7, atol=1e-9)

@@ -1,0 +1,92 @@
+"""Unit tests for the online quantile predictor (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.predict import QuantilePredictor, make_predictor
+
+from ..conftest import make_record
+
+
+def run_stream(pred, runtimes, user=1):
+    now = 0.0
+    predictions = []
+    for i, runtime in enumerate(runtimes, start=1):
+        rec = make_record(job_id=i, submit_time=now, runtime=runtime,
+                          requested_time=1e6, user=user)
+        predictions.append(pred.predict(rec, now))
+        pred.on_start(rec, now)
+        pred.on_finish(rec, now + runtime)
+        now += runtime + 60.0
+    return predictions
+
+
+class TestQuantilePredictor:
+    def test_cold_start_uses_requested(self):
+        pred = QuantilePredictor(0.25)
+        rec = make_record(requested_time=777.0)
+        assert pred.predict(rec, 0.0) == 777.0
+
+    def test_low_quantile_underpredicts(self):
+        """A 0.2-quantile estimate must sit below most runtimes."""
+        rng = np.random.default_rng(0)
+        runtimes = list(rng.lognormal(np.log(3600), 0.5, size=400))
+        pred = QuantilePredictor(0.2)
+        predictions = np.array(run_stream(pred, runtimes))
+        late_under = np.mean(predictions[-100:] < np.array(runtimes[-100:]))
+        assert late_under > 0.6
+
+    def test_high_quantile_overpredicts(self):
+        rng = np.random.default_rng(1)
+        runtimes = list(rng.lognormal(np.log(3600), 0.5, size=400))
+        pred = QuantilePredictor(0.8)
+        predictions = np.array(run_stream(pred, runtimes))
+        late_over = np.mean(predictions[-100:] > np.array(runtimes[-100:]))
+        assert late_over > 0.5
+
+    def test_users_isolated(self):
+        pred = QuantilePredictor(0.5)
+        run_stream(pred, [100.0] * 10, user=1)
+        rec = make_record(job_id=99, user=2, requested_time=555.0)
+        assert pred.predict(rec, 0.0) == 555.0
+
+    def test_estimates_stay_positive(self):
+        pred = QuantilePredictor(0.1, eta=1.0)
+        predictions = run_stream(pred, [10.0] * 50)
+        assert all(p > 0 for p in predictions)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantilePredictor(0.0)
+        with pytest.raises(ValueError):
+            QuantilePredictor(1.0)
+        with pytest.raises(ValueError):
+            QuantilePredictor(0.5, eta=0.0)
+
+    def test_registry(self):
+        pred = make_predictor("quantile0.25")
+        assert isinstance(pred, QuantilePredictor)
+        assert pred.quantile == 0.25
+
+
+class TestForgettingVariant:
+    def test_forgetting_validation(self):
+        from repro.predict import MLPredictor, SQUARED_LOSS
+
+        with pytest.raises(ValueError):
+            MLPredictor(SQUARED_LOSS, forgetting=0.0)
+        with pytest.raises(ValueError):
+            MLPredictor(SQUARED_LOSS, forgetting=1.5)
+
+    def test_forgetting_adapts_faster_to_regime_change(self):
+        """After a user's runtime scale jumps 10x, the forgetting variant
+        must track the new scale at least as fast as the long-memory one."""
+        from repro.predict import MLPredictor, SQUARED_LOSS
+
+        runtimes = [600.0] * 150 + [6000.0] * 150
+        def final_error(forgetting):
+            pred = MLPredictor(SQUARED_LOSS, forgetting=forgetting)
+            predictions = run_stream(pred, list(runtimes))
+            return abs(np.median(predictions[-30:]) - 6000.0)
+
+        assert final_error(0.98) <= final_error(1.0) * 1.2

@@ -1,0 +1,81 @@
+"""Unit tests for the multifactor priority scheduler (extension)."""
+
+import pytest
+
+from repro.predict import RequestedTimePredictor
+from repro.sched import EasyScheduler, MultifactorScheduler, PriorityWeights
+from repro.sim import simulate
+from repro.sim.machine import Machine
+
+from ..conftest import make_record
+
+
+class TestPriorityWeights:
+    def test_defaults_are_age_only(self):
+        weights = PriorityWeights()
+        assert weights.age == 1.0
+        assert weights.size == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityWeights(age=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            PriorityWeights(age=0.0, size=0.0, short=0.0)
+
+
+class TestMultifactorScheduler:
+    def test_age_only_behaves_like_fcfs(self, kth_trace):
+        """With pure age priority, the queue order is arrival order, so
+        the schedule must match classic EASY exactly."""
+        easy = simulate(kth_trace, EasyScheduler("fcfs"), RequestedTimePredictor())
+        multi = simulate(
+            kth_trace,
+            MultifactorScheduler(PriorityWeights(age=1.0)),
+            RequestedTimePredictor(),
+        )
+        assert easy.avebsld() == pytest.approx(multi.avebsld())
+
+    def test_size_priority_prefers_narrow_head(self):
+        machine = Machine(8)
+        sched = MultifactorScheduler(PriorityWeights(age=0.0, size=1.0))
+        # a running job leaves 2 processors free
+        running = make_record(job_id=0, processors=6, predicted_runtime=1000.0)
+        machine.start(running, now=0.0)
+        sched.on_submit(make_record(job_id=1, submit_time=0.0, processors=8,
+                                    predicted_runtime=100.0))
+        sched.on_submit(make_record(job_id=2, submit_time=1.0, processors=2,
+                                    predicted_runtime=100.0))
+        started = sched.select_jobs(2.0, machine)
+        # the narrow job outranks the wide one and starts immediately
+        assert [r.job_id for r in started] == [2]
+
+    def test_short_priority_prefers_short_predicted_head(self):
+        machine = Machine(8)
+        sched = MultifactorScheduler(PriorityWeights(age=0.0, short=1.0))
+        running = make_record(job_id=0, processors=6, predicted_runtime=1000.0)
+        machine.start(running, now=0.0)
+        sched.on_submit(make_record(job_id=1, submit_time=0.0, processors=2,
+                                    predicted_runtime=5000.0))
+        sched.on_submit(make_record(job_id=2, submit_time=1.0, processors=2,
+                                    predicted_runtime=50.0))
+        started = sched.select_jobs(2.0, machine)
+        assert started and started[0].job_id == 2
+
+    def test_runs_full_trace(self, kth_trace):
+        result = simulate(
+            kth_trace,
+            MultifactorScheduler(PriorityWeights(age=1.0, size=0.5, short=0.5),
+                                 backfill_order="sjbf"),
+            RequestedTimePredictor(),
+        )
+        assert len(result) == len(kth_trace)
+        assert (result.wait_times >= 0).all()
+
+    def test_registry(self):
+        from repro.sched import make_scheduler
+
+        sched = make_scheduler("multifactor-sjbf")
+        assert isinstance(sched, MultifactorScheduler)
+        assert sched.backfill_order == "sjbf"

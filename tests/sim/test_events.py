@@ -1,0 +1,82 @@
+"""Unit tests for the event queue."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.events import Event, EventQueue, EventType
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(10.0, EventType.SUBMIT, 1))
+        q.push(Event(5.0, EventType.SUBMIT, 2))
+        q.push(Event(7.5, EventType.SUBMIT, 3))
+        assert [q.pop().job_id for _ in range(3)] == [2, 3, 1]
+
+    def test_same_time_kind_priority(self):
+        """FINISH < EXPIRE < SUBMIT at equal timestamps."""
+        q = EventQueue()
+        q.push(Event(5.0, EventType.SUBMIT, 1))
+        q.push(Event(5.0, EventType.FINISH, 2))
+        q.push(Event(5.0, EventType.EXPIRE, 3))
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [EventType.FINISH, EventType.EXPIRE, EventType.SUBMIT]
+
+    def test_stable_within_kind(self):
+        q = EventQueue()
+        for job_id in (1, 2, 3):
+            q.push(Event(5.0, EventType.SUBMIT, job_id))
+        assert [q.pop().job_id for _ in range(3)] == [1, 2, 3]
+
+    def test_drain_time(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventType.SUBMIT, 1))
+        q.push(Event(5.0, EventType.SUBMIT, 2))
+        q.push(Event(6.0, EventType.SUBMIT, 3))
+        drained = list(q.drain_time(5.0))
+        assert [e.job_id for e in drained] == [1, 2]
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventType.SUBMIT, 1))
+        assert q.peek().job_id == 1
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1.0, EventType.SUBMIT, 1))
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.push(Event(0.0, EventType.SUBMIT, 1))
+        assert q
+        assert len(q) == 1
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6),
+            st.sampled_from(list(EventType)),
+            st.integers(min_value=1, max_value=100),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_pop_sequence_is_globally_ordered(items):
+    """Property: events pop in (time, kind) lexicographic order."""
+    q = EventQueue()
+    for time, kind, job_id in items:
+        q.push(Event(time, kind, job_id))
+    popped = [q.pop() for _ in range(len(items))]
+    keys = [(e.time, int(e.kind)) for e in popped]
+    assert keys == sorted(keys)

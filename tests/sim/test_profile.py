@@ -1,0 +1,114 @@
+"""Unit + property tests for the availability profile."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.profile import AvailabilityProfile
+
+
+class TestConstruction:
+    def test_initial_availability(self):
+        p = AvailabilityProfile(10, now=0.0, free=4)
+        assert p.available_at(0.0) == 4
+        assert p.available_at(1e9) == 4
+
+    def test_from_releases(self):
+        p = AvailabilityProfile.from_releases(10, now=0.0, free=2,
+                                              releases=[(5.0, 3), (8.0, 5)])
+        assert p.available_at(0.0) == 2
+        assert p.available_at(5.0) == 5
+        assert p.available_at(8.0) == 10
+
+    def test_bad_free_rejected(self):
+        with pytest.raises(ValueError):
+            AvailabilityProfile(10, now=0.0, free=11)
+
+    def test_query_before_start_rejected(self):
+        p = AvailabilityProfile(10, now=5.0)
+        with pytest.raises(ValueError):
+            p.available_at(4.0)
+
+
+class TestQueries:
+    def test_min_available_spanning_steps(self):
+        p = AvailabilityProfile.from_releases(10, 0.0, 2, [(5.0, 3)])
+        assert p.min_available(0.0, 10.0) == 2
+        assert p.min_available(5.0, 10.0) == 5
+
+    def test_earliest_fit_now(self):
+        p = AvailabilityProfile(10, 0.0, free=10)
+        assert p.earliest_fit(4, 100.0, not_before=0.0) == 0.0
+
+    def test_earliest_fit_waits_for_release(self):
+        p = AvailabilityProfile.from_releases(10, 0.0, 2, [(50.0, 8)])
+        assert p.earliest_fit(4, 100.0, not_before=0.0) == 50.0
+
+    def test_earliest_fit_respects_not_before(self):
+        p = AvailabilityProfile(10, 0.0, free=10)
+        assert p.earliest_fit(4, 10.0, not_before=33.0) == 33.0
+
+    def test_earliest_fit_too_wide_rejected(self):
+        p = AvailabilityProfile(10, 0.0)
+        with pytest.raises(ValueError):
+            p.earliest_fit(11, 10.0, 0.0)
+
+
+class TestReservation:
+    def test_reserve_then_availability_drops(self):
+        p = AvailabilityProfile(10, 0.0, free=10)
+        p.reserve(0.0, 100.0, 4)
+        assert p.available_at(0.0) == 6
+        assert p.available_at(100.0) == 10
+
+    def test_reserve_overlapping(self):
+        p = AvailabilityProfile(10, 0.0, free=10)
+        p.reserve(0.0, 100.0, 4)
+        p.reserve(50.0, 100.0, 6)
+        assert p.available_at(50.0) == 0
+        assert p.available_at(100.0) == 4
+        assert p.available_at(150.0) == 10
+
+    def test_oversubscription_rejected(self):
+        p = AvailabilityProfile(10, 0.0, free=10)
+        p.reserve(0.0, 100.0, 8)
+        with pytest.raises(ValueError):
+            p.reserve(10.0, 10.0, 4)
+
+    def test_reserve_in_gap_found_by_earliest_fit(self):
+        p = AvailabilityProfile(10, 0.0, free=10)
+        p.reserve(100.0, 100.0, 10)  # machine blocked in [100, 200)
+        start = p.earliest_fit(4, 50.0, not_before=0.0)
+        assert start == 0.0  # fits before the block
+        p.reserve(start, 50.0, 4)
+        # an 8-wide 100s job cannot fit before or inside the block
+        start2 = p.earliest_fit(8, 100.0, not_before=0.0)
+        assert start2 == 200.0
+
+
+@settings(max_examples=60)
+@given(
+    reservations=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1000.0),  # start
+            st.floats(min_value=1.0, max_value=500.0),  # duration
+            st.integers(min_value=1, max_value=8),  # processors
+        ),
+        max_size=12,
+    )
+)
+def test_profile_never_negative_and_steps_sorted(reservations):
+    """Property: any sequence of feasible earliest-fit reservations keeps
+    the profile within [0, m] with strictly increasing breakpoints."""
+    p = AvailabilityProfile(8, now=0.0, free=8)
+    for not_before, duration, procs in reservations:
+        start = p.earliest_fit(procs, duration, not_before=not_before)
+        assert start >= not_before
+        p.reserve(start, duration, procs)
+        steps = p.steps()
+        times = [t for t, _ in steps]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+        assert all(0 <= a <= 8 for _, a in steps)
+        # the far future is always fully free again
+        assert p.available_at(1e12) == 8

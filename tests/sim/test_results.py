@@ -1,0 +1,88 @@
+"""Unit tests for job records and simulation results."""
+
+import numpy as np
+import pytest
+
+from repro.sim.results import SimulationResult
+
+from ..conftest import make_record
+
+
+def finished_record(job_id=1, submit=0.0, start=10.0, runtime=100.0, processors=1):
+    rec = make_record(job_id=job_id, submit_time=submit, runtime=runtime,
+                      processors=processors)
+    rec.start_time = start
+    rec.end_time = start + runtime
+    return rec
+
+
+class TestJobRecord:
+    def test_wait_time(self):
+        rec = finished_record(submit=5.0, start=25.0)
+        assert rec.wait_time == 20.0
+
+    def test_wait_time_before_start_raises(self):
+        rec = make_record()
+        with pytest.raises(ValueError):
+            _ = rec.wait_time
+
+    def test_bounded_slowdown_long_job(self):
+        rec = finished_record(submit=0.0, start=100.0, runtime=100.0)
+        # (100 + 100) / max(100, 10) = 2
+        assert rec.bounded_slowdown() == pytest.approx(2.0)
+
+    def test_bounded_slowdown_short_job_uses_tau(self):
+        rec = finished_record(submit=0.0, start=0.0, runtime=1.0)
+        # max((0+1)/max(1,10), 1) = 1
+        assert rec.bounded_slowdown() == 1.0
+
+    def test_bounded_slowdown_floor_is_one(self):
+        rec = finished_record(submit=0.0, start=0.0, runtime=5.0)
+        assert rec.bounded_slowdown() >= 1.0
+
+    def test_predicted_end(self):
+        rec = finished_record(start=50.0)
+        rec.predicted_runtime = 30.0
+        assert rec.predicted_end == 80.0
+
+
+class TestSimulationResult:
+    def test_requires_finished_jobs(self):
+        with pytest.raises(ValueError, match="did not finish"):
+            SimulationResult([make_record()], machine_processors=8)
+
+    def test_avebsld(self):
+        records = [
+            finished_record(job_id=1, submit=0.0, start=0.0, runtime=100.0),
+            finished_record(job_id=2, submit=0.0, start=100.0, runtime=100.0),
+        ]
+        result = SimulationResult(records, machine_processors=8)
+        assert result.avebsld() == pytest.approx((1.0 + 2.0) / 2)
+
+    def test_iteration_in_submit_order(self):
+        records = [
+            finished_record(job_id=2, submit=50.0),
+            finished_record(job_id=1, submit=0.0),
+        ]
+        result = SimulationResult(records, machine_processors=8)
+        assert [r.job_id for r in result] == [1, 2]
+
+    def test_utilization(self):
+        records = [finished_record(job_id=1, start=0.0, runtime=100.0, processors=4)]
+        result = SimulationResult(records, machine_processors=8)
+        assert result.utilization() == pytest.approx(0.5)
+
+    def test_arrays(self):
+        records = [
+            finished_record(job_id=1, submit=0.0, start=10.0),
+            finished_record(job_id=2, submit=5.0, start=30.0),
+        ]
+        result = SimulationResult(records, machine_processors=8)
+        assert np.allclose(result.wait_times, [10.0, 25.0])
+        assert len(result.runtimes) == 2
+
+    def test_total_corrections(self):
+        rec = finished_record()
+        rec.corrections = 3
+        result = SimulationResult([rec], machine_processors=8)
+        assert result.total_corrections() == 3

@@ -1,0 +1,88 @@
+"""Unit tests for schedule timeline reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.predict import RequestedTimePredictor
+from repro.sched import EasyScheduler
+from repro.sim import (
+    ascii_timeline,
+    occupancy_timeline,
+    queue_timeline,
+    simulate,
+    utilization_profile,
+)
+from repro.sim.results import SimulationResult
+
+from ..conftest import make_record
+
+
+def finished(job_id, submit, start, runtime, processors=2):
+    rec = make_record(job_id=job_id, submit_time=submit, runtime=runtime,
+                      processors=processors)
+    rec.start_time = start
+    rec.end_time = start + runtime
+    return rec
+
+
+@pytest.fixture
+def two_job_result():
+    records = [
+        finished(1, submit=0.0, start=0.0, runtime=100.0, processors=4),
+        finished(2, submit=10.0, start=50.0, runtime=100.0, processors=2),
+    ]
+    return SimulationResult(records, machine_processors=8)
+
+
+class TestOccupancy:
+    def test_step_values(self, two_job_result):
+        times, busy = occupancy_timeline(two_job_result)
+        assert times.tolist() == [0.0, 50.0, 100.0, 150.0]
+        assert busy.tolist() == [4, 6, 2, 0]
+
+    def test_ends_at_zero(self, two_job_result):
+        _times, busy = occupancy_timeline(two_job_result)
+        assert busy[-1] == 0
+
+    def test_never_exceeds_machine(self, kth_trace):
+        result = simulate(kth_trace, EasyScheduler("fcfs"), RequestedTimePredictor())
+        _times, busy = occupancy_timeline(result)
+        assert busy.max() <= kth_trace.processors
+        assert busy.min() >= 0
+
+
+class TestQueueTimeline:
+    def test_step_values(self, two_job_result):
+        times, depth = queue_timeline(two_job_result)
+        # job1 submits and starts at 0; job2 waits in [10, 50)
+        assert depth.max() == 1
+        assert depth[-1] == 0
+
+    def test_conservation(self, kth_trace):
+        result = simulate(kth_trace, EasyScheduler("fcfs"), RequestedTimePredictor())
+        _times, depth = queue_timeline(result)
+        assert depth[-1] == 0
+        assert depth.min() >= 0
+
+
+class TestUtilization:
+    def test_profile_in_unit_range(self, two_job_result):
+        _starts, util = utilization_profile(two_job_result, n_bins=10)
+        assert (util >= 0).all()
+        assert (util <= 1.0 + 1e-9).all()
+
+    def test_profile_integral_matches_total_area(self, two_job_result):
+        starts, util = utilization_profile(two_job_result, n_bins=30)
+        bin_width = starts[1] - starts[0]
+        area = util.sum() * bin_width * two_job_result.machine_processors
+        expected = sum(r.runtime * r.processors for r in two_job_result)
+        assert area == pytest.approx(expected, rel=1e-6)
+
+    def test_validates_bins(self, two_job_result):
+        with pytest.raises(ValueError):
+            utilization_profile(two_job_result, n_bins=0)
+
+    def test_ascii_render(self, two_job_result):
+        chart = ascii_timeline(two_job_result, width=40, height=6)
+        assert "#" in chart
+        assert "utilization" in chart

@@ -1,0 +1,78 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workload import load_swf
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_log_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sim", "--log", "NOPE"])
+
+
+class TestLogsCommand:
+    def test_prints_table4(self, capsys):
+        assert main(["logs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("KTH-SP2", "Curie", "Metacentrum"):
+            assert name in out
+        assert "80640" in out  # Curie's CPU count
+
+
+class TestSynthCommand:
+    def test_writes_swf(self, tmp_path, capsys):
+        out_path = tmp_path / "t.swf"
+        assert main(["synth", str(out_path), "--log", "KTH-SP2", "--n-jobs", "80"]) == 0
+        trace, report = load_swf(out_path)
+        assert len(trace) == 80
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestSimCommand:
+    def test_easy_run(self, capsys):
+        code = main([
+            "sim", "--log", "KTH-SP2", "--n-jobs", "200",
+            "--predictor", "requested", "--scheduler", "easy",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AVEbsld" in out
+        assert "EASY (standard)" in out
+
+    def test_ml_run_with_correction(self, capsys):
+        code = main([
+            "sim", "--log", "Curie", "--n-jobs", "200",
+            "--predictor", "ml:sq-lin-large-area",
+            "--corrector", "incremental", "--scheduler", "easy-sjbf",
+        ])
+        assert code == 0
+        assert "winner" in capsys.readouterr().out
+
+
+class TestTableCommands:
+    def test_table4(self, capsys):
+        assert main(["table", "--which", "4"]) == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_table1_small(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        code = main([
+            "table", "--which", "1", "--n-jobs", "150", "--replicas", "1",
+            "--cache", str(cache),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EASY-Clairvoyant" in out
+        assert cache.exists()
+
+    def test_table8_small(self, capsys):
+        assert main(["table", "--which", "8", "--n-jobs", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "AVE2" in out
+        assert "E-Loss" in out

@@ -1,0 +1,53 @@
+"""Contract tests for the top-level public API."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_no_private_leaks(self):
+        assert all(not n.startswith("_") or n == "__version__" for n in repro.__all__)
+
+    def test_readme_quickstart_snippet(self):
+        """The README's quickstart must actually work (tiny scale)."""
+        from repro import (
+            E_LOSS,
+            EasyScheduler,
+            IncrementalCorrector,
+            MLPredictor,
+            get_trace,
+            simulate,
+        )
+
+        trace = get_trace("KTH-SP2", n_jobs=150)
+        result = simulate(
+            trace,
+            EasyScheduler("sjbf"),
+            MLPredictor(E_LOSS),
+            IncrementalCorrector(),
+        )
+        assert result.avebsld() >= 1.0
+
+    def test_module_docstring_campaign_snippet(self):
+        from repro import CampaignConfig, run_campaign
+
+        campaign = run_campaign(
+            CampaignConfig(logs=("KTH-SP2",), n_jobs=80, replicas=1),
+            workers=8,
+        )
+        rows = campaign.table1_rows()
+        assert len(rows) == 1
+
+    def test_registries_cover_campaign_triples(self):
+        """Every campaign triple must be buildable from the registries."""
+        from repro import campaign_triples
+
+        for triple in campaign_triples():
+            scheduler, predictor, corrector = triple.build()
+            assert scheduler is not None and predictor is not None

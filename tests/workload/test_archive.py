@@ -1,0 +1,77 @@
+"""Unit tests for the workload archive metadata."""
+
+import os
+
+import pytest
+
+from repro.workload import ARCHIVE, LOG_NAMES, get_trace, save_swf, table4_rows
+from repro.workload.archive import stable_seed
+
+
+class TestArchiveContents:
+    def test_six_logs_in_paper_order(self):
+        assert LOG_NAMES == (
+            "KTH-SP2",
+            "CTC-SP2",
+            "SDSC-SP2",
+            "SDSC-BLUE",
+            "Curie",
+            "Metacentrum",
+        )
+
+    def test_table4_metadata_matches_paper(self):
+        rows = {r[0]: r for r in table4_rows()}
+        assert rows["KTH-SP2"] == ("KTH-SP2", 1996, 100, "28k", "11 Months")
+        assert rows["CTC-SP2"] == ("CTC-SP2", 1996, 338, "77k", "11 Months")
+        assert rows["SDSC-SP2"] == ("SDSC-SP2", 2000, 128, "59k", "24 Months")
+        assert rows["SDSC-BLUE"] == ("SDSC-BLUE", 2003, 1152, "243k", "32 Months")
+        assert rows["Curie"] == ("Curie", 2012, 80640, "312k", "3 Months")
+        assert rows["Metacentrum"] == ("Metacentrum", 2013, 3356, "495k", "6 Months")
+
+    def test_models_target_high_utilization(self):
+        # the paper selected these logs "for their high resource utilization"
+        for spec in ARCHIVE.values():
+            assert spec.model.offered_load >= 0.75
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("Curie") == stable_seed("Curie")
+
+    def test_distinct_across_logs(self):
+        seeds = {stable_seed(name) for name in LOG_NAMES}
+        assert len(seeds) == len(LOG_NAMES)
+
+    def test_32bit(self):
+        for name in LOG_NAMES:
+            assert 0 <= stable_seed(name) < 2**32
+
+
+class TestGetTrace:
+    def test_unknown_log_rejected(self):
+        with pytest.raises(KeyError, match="unknown log"):
+            get_trace("NOPE")
+
+    def test_synthetic_default(self):
+        trace = get_trace("KTH-SP2", n_jobs=120)
+        assert len(trace) == 120
+        assert trace.name == "KTH-SP2"
+
+    def test_same_call_same_trace(self):
+        a = get_trace("CTC-SP2", n_jobs=100)
+        b = get_trace("CTC-SP2", n_jobs=100)
+        assert [j.runtime for j in a] == [j.runtime for j in b]
+
+    def test_swf_dir_loads_real_file(self, tmp_path):
+        synthetic = get_trace("KTH-SP2", n_jobs=50)
+        path = tmp_path / "KTH-SP2.swf"
+        save_swf(synthetic, path)
+        loaded = get_trace("KTH-SP2", n_jobs=30, swf_dir=str(tmp_path))
+        assert len(loaded) == 30
+
+    def test_swf_dir_env_var(self, tmp_path, monkeypatch):
+        synthetic = get_trace("Curie", n_jobs=40)
+        save_swf(synthetic, tmp_path / "Curie.swf")
+        monkeypatch.setenv("REPRO_SWF_DIR", str(tmp_path))
+        loaded = get_trace("Curie", n_jobs=20)
+        assert len(loaded) == 20

@@ -1,0 +1,98 @@
+"""Unit tests for the requested-time (user estimate) model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.estimates import (
+    ROUND_VALUES,
+    EstimateStyle,
+    pick_fixed_request,
+    requested_time_for,
+    round_up_to_round_value,
+)
+
+
+class TestRoundValues:
+    def test_ladder_is_sorted(self):
+        assert list(ROUND_VALUES) == sorted(ROUND_VALUES)
+
+    def test_round_up_picks_next_value(self):
+        assert round_up_to_round_value(301.0, ceiling=1e9) == 600.0
+
+    def test_round_up_exact_value_kept(self):
+        assert round_up_to_round_value(3600.0, ceiling=1e9) == 3600.0
+
+    def test_round_up_respects_ceiling(self):
+        assert round_up_to_round_value(301.0, ceiling=500.0) == 500.0
+
+    def test_round_up_above_ladder_returns_ceiling(self):
+        assert round_up_to_round_value(1e7, ceiling=2e7) == 2e7
+
+
+class TestFixedRequest:
+    def test_covers_typical_runtime_with_margin(self):
+        fixed = pick_fixed_request(typical_runtime=1000.0, margin=2.0, ceiling=1e9)
+        assert fixed >= 2000.0
+        assert fixed in ROUND_VALUES
+
+
+class TestRequestedTimeFor:
+    def test_round_up_style(self):
+        request, runtime = requested_time_for(
+            EstimateStyle.ROUND_UP, runtime=500.0, believed_runtime=500.0,
+            margin=2.0, fixed_request=0.0, ceiling=86400.0, floor=60.0,
+        )
+        assert request >= 1000.0
+        assert runtime == 500.0
+
+    def test_fixed_style_uses_fixed(self):
+        request, _ = requested_time_for(
+            EstimateStyle.FIXED, runtime=500.0, believed_runtime=500.0,
+            margin=2.0, fixed_request=7200.0, ceiling=86400.0, floor=60.0,
+        )
+        assert request == 7200.0
+
+    def test_maximum_style_uses_ceiling(self):
+        request, _ = requested_time_for(
+            EstimateStyle.MAXIMUM, runtime=500.0, believed_runtime=500.0,
+            margin=2.0, fixed_request=7200.0, ceiling=86400.0, floor=60.0,
+        )
+        assert request == 86400.0
+
+    def test_runtime_clamped_when_exceeding_request(self):
+        # the scheduler kills jobs at the requested time
+        request, runtime = requested_time_for(
+            EstimateStyle.FIXED, runtime=9000.0, believed_runtime=500.0,
+            margin=2.0, fixed_request=3600.0, ceiling=86400.0, floor=60.0,
+        )
+        assert request == 3600.0
+        assert runtime == 3600.0
+
+    def test_floor_applies(self):
+        request, _ = requested_time_for(
+            EstimateStyle.ROUND_UP, runtime=20.0, believed_runtime=20.0,
+            margin=1.2, fixed_request=0.0, ceiling=86400.0, floor=1800.0,
+        )
+        assert request >= 1800.0
+
+
+@given(
+    style=st.sampled_from(list(EstimateStyle)),
+    runtime=st.floats(min_value=10.0, max_value=1e6),
+    believed=st.floats(min_value=10.0, max_value=1e6),
+    margin=st.floats(min_value=1.0, max_value=20.0),
+    fixed=st.sampled_from(ROUND_VALUES),
+    ceiling=st.floats(min_value=3600.0, max_value=360000.0),
+    floor=st.sampled_from([60.0, 900.0, 3600.0]),
+)
+def test_request_always_bounds_runtime(style, runtime, believed, margin, fixed, ceiling, floor):
+    """The model invariant: returned runtime <= request <= ceiling."""
+    request, clamped = requested_time_for(
+        style, runtime=runtime, believed_runtime=believed, margin=margin,
+        fixed_request=fixed, ceiling=ceiling, floor=floor,
+    )
+    assert clamped <= request
+    assert request <= ceiling
+    assert request >= min(floor, ceiling) - 1e-9
+    assert clamped <= runtime + 1e-9

@@ -1,0 +1,138 @@
+"""Unit tests for the SWF parser and writer."""
+
+import pytest
+
+from repro.workload import Trace, dumps_swf, load_swf, loads_swf, save_swf
+
+from ..conftest import make_job
+
+SAMPLE = """\
+; Version: 2.2
+; Computer: TestBox
+; MaxProcs: 64
+; UnixStartTime: 820454400
+; Note: hand-written sample
+1 0 -1 100 4 -1 -1 4 300 -1 1 7 1 3 1 0 -1 -1
+2 10 -1 50 8 -1 -1 8 600 -1 1 8 1 3 1 0 -1 -1
+3 20 -1 25 1 -1 -1 1 100 -1 0 7 1 4 2 0 -1 -1
+"""
+
+
+class TestParsing:
+    def test_parses_jobs_and_header(self):
+        trace, report = loads_swf(SAMPLE, name="sample")
+        assert len(trace) == 3
+        assert trace.processors == 64
+        assert trace.unix_start_time == 820454400
+        assert report.header["Computer"] == "TestBox"
+        assert report.n_jobs == 3
+        assert report.n_skipped == 0
+
+    def test_field_mapping(self):
+        trace, _ = loads_swf(SAMPLE)
+        job = trace[0]
+        assert job.job_id == 1
+        assert job.submit_time == 0.0
+        assert job.runtime == 100.0
+        assert job.processors == 4
+        assert job.requested_time == 300.0
+        assert job.user == 7
+        assert job.executable == 3
+
+    def test_status_preserved(self):
+        trace, _ = loads_swf(SAMPLE)
+        assert trace[2].status == 0
+
+    def test_skips_nonpositive_runtime(self):
+        text = SAMPLE + "4 30 -1 0 4 -1 -1 4 300 -1 5 7 1 3 1 0 -1 -1\n"
+        trace, report = loads_swf(text)
+        assert len(trace) == 3
+        assert report.skipped_reasons["nonpositive runtime"] == 1
+
+    def test_skips_short_lines(self):
+        text = SAMPLE + "5 30 -1 10\n"
+        _, report = loads_swf(text)
+        assert report.skipped_reasons["short line"] == 1
+
+    def test_skips_non_numeric(self):
+        text = SAMPLE + "x y z " * 6 + "\n"
+        _, report = loads_swf(text)
+        assert report.n_skipped == 1
+
+    def test_runtime_clamped_to_requested(self):
+        # runtime 400 > requested 300: grace-period record, clamp
+        text = "; MaxProcs: 16\n1 0 -1 400 4 -1 -1 4 300 -1 1 7 1 3 1 0 -1 -1\n"
+        trace, report = loads_swf(text)
+        assert trace[0].runtime == 300.0
+        assert report.n_clamped_runtime == 1
+
+    def test_missing_requested_falls_back_to_runtime(self):
+        text = "; MaxProcs: 16\n1 0 -1 400 4 -1 -1 4 -1 -1 1 7 1 3 1 0 -1 -1\n"
+        trace, _ = loads_swf(text)
+        assert trace[0].requested_time == 400.0
+
+    def test_requested_processors_fallback(self):
+        # allocated -1 but requested 8 -> width 8
+        text = "; MaxProcs: 16\n1 0 -1 400 -1 -1 -1 8 500 -1 1 7 1 3 1 0 -1 -1\n"
+        trace, _ = loads_swf(text)
+        assert trace[0].processors == 8
+
+    def test_machine_size_inferred_from_widest_job_without_header(self):
+        text = "1 0 -1 400 8 -1 -1 8 500 -1 1 7 1 3 1 0 -1 -1\n"
+        trace, _ = loads_swf(text)
+        assert trace.processors == 8
+
+    def test_duplicate_ids_remapped(self):
+        text = (
+            "; MaxProcs: 16\n"
+            "7 0 -1 100 4 -1 -1 4 300 -1 1 7 1 3 1 0 -1 -1\n"
+            "7 10 -1 100 4 -1 -1 4 300 -1 1 7 1 3 1 0 -1 -1\n"
+        )
+        trace, _ = loads_swf(text)
+        ids = sorted(j.job_id for j in trace)
+        assert len(set(ids)) == 2
+
+    def test_processors_override(self):
+        trace, _ = loads_swf(SAMPLE, processors=128)
+        assert trace.processors == 128
+
+
+class TestRoundTrip:
+    def test_dumps_then_loads_preserves_jobs(self):
+        jobs = [
+            make_job(job_id=i, submit_time=10.0 * i, runtime=60.0 + i,
+                     processors=1 + i, requested_time=600.0, user=i % 3)
+            for i in range(1, 10)
+        ]
+        trace = Trace(jobs, processors=32, name="rt")
+        text = dumps_swf(trace)
+        back, report = loads_swf(text)
+        assert report.n_skipped == 0
+        assert len(back) == len(trace)
+        assert back.processors == 32
+        for a, b in zip(trace, back):
+            assert a.job_id == b.job_id
+            assert a.submit_time == pytest.approx(b.submit_time)
+            assert a.runtime == pytest.approx(b.runtime)
+            assert a.processors == b.processors
+            assert a.requested_time == pytest.approx(b.requested_time)
+            assert a.user == b.user
+
+    def test_file_round_trip(self, tmp_path):
+        jobs = [make_job(job_id=i, submit_time=float(i)) for i in range(1, 5)]
+        trace = Trace(jobs, processors=8, name="file-rt")
+        path = tmp_path / "out.swf"
+        save_swf(trace, path)
+        back, _ = load_swf(path)
+        assert len(back) == 4
+        assert back.name == "out"
+
+    def test_synthetic_trace_round_trips(self, kth_trace):
+        text = dumps_swf(kth_trace)
+        back, report = loads_swf(text)
+        assert len(back) == len(kth_trace)
+        assert report.n_skipped == 0
+        assert back.processors == kth_trace.processors
+        # runtimes are written as integer seconds; tolerate rounding
+        for a, b in zip(kth_trace, back):
+            assert abs(a.runtime - b.runtime) <= 0.5 + 1e-9

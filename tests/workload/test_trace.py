@@ -1,0 +1,89 @@
+"""Unit tests for the Trace container."""
+
+import pytest
+
+from repro.workload import Trace
+
+from ..conftest import make_job
+
+
+class TestTraceConstruction:
+    def test_jobs_sorted_by_submit_time(self):
+        jobs = [
+            make_job(job_id=1, submit_time=100.0),
+            make_job(job_id=2, submit_time=0.0),
+            make_job(job_id=3, submit_time=50.0),
+        ]
+        trace = Trace(jobs, processors=8)
+        assert [j.job_id for j in trace] == [2, 3, 1]
+
+    def test_ties_broken_by_job_id(self):
+        jobs = [make_job(job_id=5, submit_time=0.0), make_job(job_id=2, submit_time=0.0)]
+        trace = Trace(jobs, processors=8)
+        assert [j.job_id for j in trace] == [2, 5]
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError, match="requests"):
+            Trace([make_job(processors=16)], processors=8)
+
+    def test_duplicate_ids_rejected(self):
+        jobs = [make_job(job_id=1), make_job(job_id=1, submit_time=5.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            Trace(jobs, processors=8)
+
+    def test_nonpositive_machine_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([], processors=0)
+
+    def test_empty_trace_allowed(self):
+        trace = Trace([], processors=8)
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+
+class TestTraceStats:
+    def test_stats_of_simple_trace(self):
+        jobs = [
+            make_job(job_id=1, submit_time=0.0, runtime=100.0, processors=4),
+            make_job(job_id=2, submit_time=50.0, runtime=100.0, processors=4),
+        ]
+        trace = Trace(jobs, processors=8)
+        stats = trace.stats()
+        assert stats.n_jobs == 2
+        assert stats.total_area == 800.0
+        # duration: last completion (150) - first submit (0)
+        assert stats.duration == 150.0
+        assert stats.offered_load == pytest.approx(800.0 / (8 * 150.0))
+        assert stats.n_users == 1
+
+    def test_describe_mentions_key_numbers(self):
+        jobs = [make_job()]
+        text = Trace(jobs, processors=8).stats().describe()
+        assert "1 jobs" in text
+        assert "8 processors" in text
+
+
+class TestTraceTransforms:
+    def test_filter(self):
+        jobs = [make_job(job_id=i, processors=i) for i in (1, 2, 3, 4)]
+        trace = Trace(jobs, processors=8)
+        narrow = trace.filter(lambda j: j.processors <= 2)
+        assert len(narrow) == 2
+        assert len(trace) == 4  # original untouched
+
+    def test_head(self):
+        jobs = [make_job(job_id=i, submit_time=float(i)) for i in range(1, 6)]
+        trace = Trace(jobs, processors=8)
+        assert [j.job_id for j in trace.head(2)] == [1, 2]
+
+    def test_rebase_time(self):
+        jobs = [make_job(job_id=1, submit_time=1000.0), make_job(job_id=2, submit_time=1100.0)]
+        trace = Trace(jobs, processors=8, unix_start_time=500)
+        rebased = trace.rebase_time()
+        assert rebased[0].submit_time == 0.0
+        assert rebased[1].submit_time == 100.0
+        assert rebased.unix_start_time == 1500
+
+    def test_rebase_empty_is_noop(self):
+        trace = Trace([], processors=8)
+        assert trace.rebase_time() is trace

@@ -1,0 +1,135 @@
+"""Unit tests for the per-user behaviour model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.usermodel import (
+    SessionJob,
+    UserProfile,
+    sample_user_profiles,
+    wide_job_runtime_cap,
+)
+
+
+def sample_profiles(rng, n_users=20, processors=128, **overrides):
+    kwargs = dict(
+        n_users=n_users,
+        processors=processors,
+        runtime_log_mu=7.0,
+        runtime_log_sigma=1.5,
+        width_mix=(0.6, 0.3, 0.1),
+        width_max_frac=1.0,
+        session_jobs_mean=4.0,
+        session_gap_minutes=5.0,
+        estimate_styles=(0.4, 0.4, 0.2),
+        estimate_margin_range=(1.2, 4.0),
+        max_requested_hours=48.0,
+        failure_prob=0.05,
+    )
+    kwargs.update(overrides)
+    return sample_user_profiles(rng, **kwargs)
+
+
+class TestWideJobCap:
+    def test_narrow_jobs_keep_full_ceiling(self):
+        assert wide_job_runtime_cap(8, 128, 3600.0) == 3600.0
+
+    def test_quarter_machine_is_threshold(self):
+        assert wide_job_runtime_cap(32, 128, 3600.0) == 3600.0
+
+    def test_full_machine_gets_quarter_ceiling(self):
+        assert wide_job_runtime_cap(128, 128, 3600.0) == pytest.approx(900.0)
+
+    def test_cap_monotone_in_width(self):
+        caps = [wide_job_runtime_cap(w, 128, 3600.0) for w in range(1, 129)]
+        assert all(a >= b for a, b in zip(caps, caps[1:]))
+
+
+class TestProfileSampling:
+    def test_population_size(self, rng):
+        profiles = sample_profiles(rng)
+        assert len(profiles) == 20
+        assert len({p.user_id for p in profiles}) == 20
+
+    def test_weights_form_distribution(self, rng):
+        profiles = sample_profiles(rng)
+        total = sum(p.weight for p in profiles)
+        assert total == pytest.approx(1.0)
+
+    def test_widths_bounded_by_machine(self, rng):
+        profiles = sample_profiles(rng, width_max_frac=0.5, processors=128)
+        assert all(p.max_width == 64 for p in profiles)
+
+    def test_rejects_empty_population(self, rng):
+        with pytest.raises(ValueError):
+            sample_profiles(rng, n_users=0)
+
+
+class TestSessionGeneration:
+    def test_session_emits_jobs(self, rng):
+        profile = sample_profiles(rng)[0]
+        session = profile.generate_session(rng)
+        assert len(session) >= 1
+        assert all(isinstance(j, SessionJob) for j in session)
+
+    def test_offsets_increase(self, rng):
+        profile = sample_profiles(rng)[0]
+        for _ in range(10):
+            session = profile.generate_session(rng)
+            offsets = [j.offset for j in session]
+            assert offsets == sorted(offsets)
+
+    def test_invariants_across_many_sessions(self, rng):
+        profiles = sample_profiles(rng)
+        for profile in profiles:
+            for _ in range(5):
+                for job in profile.generate_session(rng):
+                    assert job.runtime > 0
+                    assert job.runtime <= job.requested_time + 1e-9
+                    assert 1 <= job.processors <= profile.max_width
+                    cap = wide_job_runtime_cap(
+                        job.processors, profile.max_width, profile.max_requested
+                    )
+                    assert job.runtime <= cap + 1e-9
+
+    def test_runtime_locality_within_user(self, rng):
+        """Successive non-failed runtimes of one user must correlate --
+        this is what gives AVE2 and the history features their power."""
+        profiles = sample_profiles(rng, failure_prob=0.0)
+        ratios = []
+        for profile in profiles:
+            runtimes = []
+            for _ in range(6):
+                runtimes.extend(j.runtime for j in profile.generate_session(rng))
+            for a, b in zip(runtimes, runtimes[1:]):
+                ratios.append(max(a, b) / min(a, b))
+        # median consecutive ratio should be modest (strong locality)
+        assert np.median(ratios) < 4.0
+
+    def test_failures_are_short(self, rng):
+        profiles = sample_profiles(rng, failure_prob=1.0)
+        failed_jobs = [
+            job
+            for profile in profiles
+            for _ in range(3)
+            for job in profile.generate_session(rng)
+            if job.failed
+        ]
+        assert failed_jobs, "failure_prob=1.0 must produce failures"
+        for job in failed_jobs:
+            assert job.runtime <= 600.0
+
+    def test_failures_cluster_in_bursts(self, rng):
+        """Once a job fails, the next one in the session usually fails too
+        (the bursty-failure model that breaks AVE2-style predictors)."""
+        profiles = sample_profiles(rng, failure_prob=0.2)
+        after_failure = []
+        for profile in profiles:
+            for _ in range(10):
+                session = profile.generate_session(rng)
+                for prev, cur in zip(session, session[1:]):
+                    if prev.failed:
+                        after_failure.append(cur.failed)
+        if len(after_failure) >= 30:
+            # persistence is 0.7 by construction; allow sampling noise
+            assert sum(after_failure) / len(after_failure) > 0.45
