@@ -1,54 +1,298 @@
-"""Micro-benchmarks: simulator throughput (not a paper artefact).
+"""Engine benchmarks: profile-based scheduling path vs the seed rescan.
 
-Measures end-to-end simulation speed (events/second) for each scheduler
-family and the scaling of the EASY scheduling pass, to document the
-cost structure of the testbed itself.
+Two entry points:
+
+* **Script mode** (used by CI):
+
+  .. code-block:: console
+
+     python benchmarks/bench_engine.py --quick [--out BENCH_engine.json]
+
+  Builds synthetic week-long traces, runs each scenario through the
+  profile-based schedulers *and* the frozen seed implementations
+  (``repro.sched.legacy``), verifies the two produce byte-identical
+  per-job schedules, and writes a JSON report with per-scenario and
+  overall speedups.  ``--quick`` is bounded to well under 60 s of wall
+  time; the default (full) mode uses larger traces for stabler numbers.
+
+* **pytest-benchmark mode** (developer profiling):
+
+  .. code-block:: console
+
+     pytest benchmarks/bench_engine.py
+
+Everything is deterministically seeded; no network, no optional deps.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path and not os.environ.get("REPRO_NO_SRC_PATH"):
+    sys.path.insert(0, _SRC)
+
+import numpy as np
 
 from repro.correct import IncrementalCorrector
 from repro.predict import RecentAveragePredictor, RequestedTimePredictor
 from repro.sched import make_scheduler
 from repro.sim import Simulator
-from repro.workload import get_trace
+from repro.sim.engine import ENGINE_VERSION
+from repro.workload import Job, Trace
 
-from conftest import bench_n_jobs
-
-
-@pytest.fixture(scope="module")
-def trace():
-    return get_trace("KTH-SP2", n_jobs=min(bench_n_jobs(), 1500))
+WEEK_SECONDS = 7 * 86400.0
 
 
-@pytest.mark.parametrize("scheduler_name", ["fcfs", "easy", "easy-sjbf", "conservative"])
-def test_engine_throughput(trace, scheduler_name, benchmark):
-    def run():
-        sim = Simulator(
-            trace,
-            make_scheduler(scheduler_name),
-            RequestedTimePredictor(),
+def make_week_trace(
+    processors: int,
+    runtime_log_mu: float,
+    runtime_log_sigma: float,
+    widths: tuple[int, ...],
+    width_probs: tuple[float, ...],
+    offered_load: float,
+    seed: int,
+    name: str = "bench-week",
+) -> Trace:
+    """A deterministic synthetic week of submissions sized to a target load.
+
+    The job count is derived from the load identity
+    ``n = load * m * T / (E[runtime] * E[width])`` so the same shape can
+    be scaled to any machine size.  Runtimes are lognormal (clipped to
+    [1 min, 3 days]), widths drawn from a fixed mix, and requested times
+    over-estimate the runtime by a uniform 1.2-3x margin -- the classic
+    production-log regime the paper targets.
+    """
+    rng = np.random.default_rng(seed)
+    mean_runtime = float(np.exp(runtime_log_mu + runtime_log_sigma**2 / 2))
+    mean_width = float(np.dot(widths, width_probs))
+    n_jobs = int(offered_load * processors * WEEK_SECONDS / (mean_runtime * mean_width))
+    submit = np.sort(rng.uniform(0.0, WEEK_SECONDS, n_jobs))
+    runtime = np.clip(
+        rng.lognormal(runtime_log_mu, runtime_log_sigma, n_jobs), 60.0, 3 * 86400.0
+    )
+    width = rng.choice(widths, n_jobs, p=width_probs)
+    margin = rng.uniform(1.2, 3.0, n_jobs)
+    jobs = [
+        Job(
+            job_id=i + 1,
+            submit_time=float(submit[i]),
+            runtime=float(runtime[i]),
+            processors=int(width[i]),
+            requested_time=float(runtime[i] * margin[i]),
+            user=int(i % 50),
         )
+        for i in range(n_jobs)
+    ]
+    return Trace(jobs, processors=processors, name=name)
+
+
+def _wide_trace(quick: bool) -> Trace:
+    """Big machine, mostly narrow day-scale jobs: many concurrent runners
+    stress EASY's release bookkeeping."""
+    return make_week_trace(
+        processors=2048 if quick else 4096,
+        runtime_log_mu=10.2,
+        runtime_log_sigma=0.8,
+        widths=(1, 2, 4, 8, 32),
+        width_probs=(0.55, 0.2, 0.15, 0.07, 0.03),
+        offered_load=1.0,
+        seed=1234,
+        name="bench-week-wide",
+    )
+
+
+def _narrow_trace(quick: bool) -> Trace:
+    """Medium machine, hour-scale jobs, deep queue: stresses conservative
+    reservations and the correction path."""
+    return make_week_trace(
+        processors=192 if quick else 256,
+        runtime_log_mu=9.3,
+        runtime_log_sigma=1.0,
+        widths=(1, 2, 4, 8),
+        width_probs=(0.6, 0.2, 0.12, 0.08),
+        offered_load=0.92 if quick else 0.95,
+        seed=99,
+        name="bench-week-narrow",
+    )
+
+
+def _components(spec: str):
+    """(predictor, corrector) factories for a scenario spec."""
+    if spec == "requested":
+        return RequestedTimePredictor(), None
+    if spec == "ave2+incremental":
+        return RecentAveragePredictor(2), IncrementalCorrector()
+    raise ValueError(f"unknown predictor spec {spec!r}")
+
+
+def _schedule_bytes(result) -> bytes:
+    """Canonical byte serialisation of the per-job schedule."""
+    rows = sorted(
+        (r.job_id, r.start_time, r.end_time, r.corrections) for r in result
+    )
+    return json.dumps(rows).encode("utf-8")
+
+
+def run_scenario(
+    label: str, trace: Trace, scheduler: str, predictor_spec: str
+) -> dict:
+    """Time profile-based vs seed scheduling on one (trace, triple) cell."""
+    timings = {}
+    schedules = {}
+    for side, sched_name in (("profile", scheduler), ("legacy", f"legacy-{scheduler}")):
+        predictor, corrector = _components(predictor_spec)
+        sim = Simulator(trace, make_scheduler(sched_name), predictor, corrector)
+        t0 = time.perf_counter()
         result = sim.run()
-        return len(result)
+        timings[side] = time.perf_counter() - t0
+        schedules[side] = _schedule_bytes(result)
+    identical = schedules["profile"] == schedules["legacy"]
+    return {
+        "scenario": label,
+        "scheduler": scheduler,
+        "predictor": predictor_spec,
+        "trace": {
+            "name": trace.name,
+            "n_jobs": len(trace),
+            "processors": trace.processors,
+            "duration_days": round(trace.duration / 86400.0, 2),
+        },
+        "profile_seconds": round(timings["profile"], 4),
+        "legacy_seconds": round(timings["legacy"], 4),
+        "speedup": round(timings["legacy"] / timings["profile"], 2),
+        "schedules_identical": identical,
+    }
 
-    n_jobs = benchmark(run)
-    assert n_jobs == len(trace)
 
-
-def test_engine_with_corrections_throughput(trace, benchmark):
-    """AVE2 + incremental: the correction-heavy path (EXPIRE events)."""
-
-    def run():
-        sim = Simulator(
-            trace,
-            make_scheduler("easy-sjbf"),
-            RecentAveragePredictor(2),
-            IncrementalCorrector(),
+def run_benchmark(quick: bool) -> dict:
+    """All scenarios; returns the BENCH_engine.json payload."""
+    wide = _wide_trace(quick)
+    narrow = _narrow_trace(quick)
+    plan = [
+        ("easy/wide", wide, "easy", "requested"),
+        ("easy-sjbf/wide", wide, "easy-sjbf", "requested"),
+        ("easy-sjbf/corrections", narrow, "easy-sjbf", "ave2+incremental"),
+        ("conservative/narrow", narrow, "conservative", "requested"),
+    ]
+    t0 = time.perf_counter()
+    scenarios = []
+    for label, trace, scheduler, predictor_spec in plan:
+        scenario = run_scenario(label, trace, scheduler, predictor_spec)
+        scenarios.append(scenario)
+        print(
+            f"  {label:24s} profile={scenario['profile_seconds']:7.3f}s "
+            f"legacy={scenario['legacy_seconds']:7.3f}s "
+            f"speedup={scenario['speedup']:5.2f}x "
+            f"identical={scenario['schedules_identical']}"
         )
-        return sim.run().total_corrections()
+    total_legacy = sum(s["legacy_seconds"] for s in scenarios)
+    total_profile = sum(s["profile_seconds"] for s in scenarios)
+    return {
+        "benchmark": "engine-scheduling-path",
+        "mode": "quick" if quick else "full",
+        "engine_version": ENGINE_VERSION,
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+        "total_profile_seconds": round(total_profile, 4),
+        "total_legacy_seconds": round(total_legacy, 4),
+        "overall_speedup": round(total_legacy / total_profile, 2),
+        "all_schedules_identical": all(s["schedules_identical"] for s in scenarios),
+        "wall_seconds": round(time.perf_counter() - t0, 2),
+    }
 
-    corrections = benchmark(run)
-    assert corrections > 0
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller traces, bounded well under 60s wall time (CI smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="where to write the JSON report (default: ./BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="fail unless the overall speedup reaches this factor (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"overall speedup: {report['overall_speedup']}x "
+        f"(profile {report['total_profile_seconds']}s vs "
+        f"legacy {report['total_legacy_seconds']}s); wrote {args.out}"
+    )
+    if not report["all_schedules_identical"]:
+        print("FAIL: profile-based schedules diverge from the seed implementation")
+        return 1
+    if report["overall_speedup"] < args.min_speedup:
+        print(f"FAIL: overall speedup below the {args.min_speedup}x target")
+        return 1
+    return 0
+
+
+# -- pytest-benchmark mode ---------------------------------------------------
+try:  # pragma: no cover - only when pytest(-benchmark) is present
+    import pytest
+except ImportError:  # pragma: no cover
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def trace():
+        from conftest import bench_n_jobs
+        from repro.workload import get_trace
+
+        return get_trace("KTH-SP2", n_jobs=min(bench_n_jobs(), 1500))
+
+    @pytest.mark.parametrize(
+        "scheduler_name",
+        ["fcfs", "easy", "easy-sjbf", "conservative", "legacy-easy", "legacy-conservative"],
+    )
+    def test_engine_throughput(trace, scheduler_name, benchmark):
+        def run():
+            sim = Simulator(
+                trace,
+                make_scheduler(scheduler_name),
+                RequestedTimePredictor(),
+            )
+            result = sim.run()
+            return len(result)
+
+        n_jobs = benchmark(run)
+        assert n_jobs == len(trace)
+
+    def test_engine_with_corrections_throughput(trace, benchmark):
+        """AVE2 + incremental: the correction-heavy path (EXPIRE events)."""
+
+        def run():
+            sim = Simulator(
+                trace,
+                make_scheduler("easy-sjbf"),
+                RecentAveragePredictor(2),
+                IncrementalCorrector(),
+            )
+            return sim.run().total_corrections()
+
+        corrections = benchmark(run)
+        assert corrections > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,9 @@ motivating cross-validated selection.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core import HeuristicTriple, campaign_triples, reference_triples
-from repro.core.reporting import ascii_scatter, format_table
+from repro.core.reporting import ascii_scatter
 from repro.metrics import correlation_summary
 
 from conftest import write_artifact

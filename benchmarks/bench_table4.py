@@ -9,7 +9,6 @@ trace synthesis.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.reporting import format_table
 from repro.workload import ARCHIVE, get_trace, synthesize, table4_rows

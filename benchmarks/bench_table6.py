@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import campaign_triples
 from repro.core.reporting import format_table
 
 from conftest import write_artifact

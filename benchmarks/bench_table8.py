@@ -13,7 +13,6 @@ E-Loss -- accuracy and usefulness for backfilling are different things.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.prediction_analysis import table8_rows
 from repro.core.reporting import format_table
@@ -53,7 +52,6 @@ def test_table8(curie_prediction_analysis, benchmark):
     # Benchmark: online predictor throughput (predict + learn) -- the cost
     # a production scheduler would pay per job.
     from repro.sim.results import JobRecord
-    from repro.workload import Job
 
     def train_predictor():
         pred = MLPredictor(E_LOSS)

@@ -5,6 +5,11 @@ are computed once per session and cached on disk under
 ``benchmarks/.cache/``, so the whole harness re-runs instantly once the
 campaign has been simulated.
 
+The harness is headless-CI-safe: every RNG is seeded deterministically,
+nothing opens a display, and optional dependencies (e.g. matplotlib for
+local plotting experiments) cause a clean skip instead of a collection
+error -- use :func:`optional_import` for any such import.
+
 Scale knobs (environment variables):
 
 * ``REPRO_BENCH_JOBS``      -- jobs per synthetic log (default 2000);
@@ -18,8 +23,11 @@ EXPERIMENTS.md can be regenerated from artefacts.
 
 from __future__ import annotations
 
+import importlib
 import os
+import random
 
+import numpy as np
 import pytest
 
 from repro.core import CampaignConfig, analyze_predictions, run_campaign
@@ -27,6 +35,35 @@ from repro.core import CampaignConfig, analyze_predictions, run_campaign
 _HERE = os.path.dirname(os.path.abspath(__file__))
 CACHE_DIR = os.path.join(_HERE, ".cache")
 OUT_DIR = os.path.join(_HERE, "out")
+
+#: Fixed seed for any benchmark that needs ad-hoc randomness.
+BENCH_SEED = 20150915  # the paper's conference year/month/day
+
+
+def optional_import(name: str):
+    """Import an optional dependency or skip the requesting module.
+
+    Usage at the top of a benchmark module::
+
+        matplotlib = optional_import("matplotlib")
+
+    Keeps the harness runnable on minimal CI images: a missing optional
+    package skips that benchmark instead of failing collection.
+    """
+    try:
+        return importlib.import_module(name)
+    except ImportError:
+        pytest.skip(f"optional dependency {name!r} not installed", allow_module_level=True)
+
+
+@pytest.fixture(autouse=True)
+def _seed_all_rngs():
+    """Reset the global RNGs before every benchmark, for run-to-run and
+    machine-to-machine reproducibility (the library itself only uses
+    explicitly seeded generators; this guards ad-hoc benchmark code)."""
+    random.seed(BENCH_SEED)
+    np.random.seed(BENCH_SEED % (2**32))
+    yield
 
 
 def bench_n_jobs() -> int:
@@ -53,9 +90,14 @@ def campaign():
     """The full 6-log x 130-triple campaign (cached on disk)."""
     config = CampaignConfig(n_jobs=bench_n_jobs(), replicas=bench_replicas())
     cache_path = os.path.join(
-        CACHE_DIR, f"campaign_n{config.n_jobs}_r{config.replicas}.json"
+        CACHE_DIR, f"campaign_n{config.n_jobs}_r{config.replicas}.jsonl"
     )
-    return run_campaign(config, cache_path=cache_path, progress=True)
+    progress_path = os.path.join(
+        CACHE_DIR, f"campaign_n{config.n_jobs}_r{config.replicas}.progress.jsonl"
+    )
+    return run_campaign(
+        config, cache_path=cache_path, progress=True, progress_path=progress_path
+    )
 
 
 @pytest.fixture(scope="session")

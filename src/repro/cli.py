@@ -18,8 +18,6 @@ import argparse
 import sys
 
 from .core import (
-    EASY_TRIPLE,
-    EASYPP_TRIPLE,
     CampaignConfig,
     HeuristicTriple,
     analyze_predictions,
@@ -31,7 +29,7 @@ from .core import (
     table8_rows,
 )
 from .core.reporting import format_percent, format_table
-from .workload import ARCHIVE, LOG_NAMES, get_trace, save_swf, table4_rows
+from .workload import LOG_NAMES, get_trace, save_swf, table4_rows
 
 __all__ = ["main", "build_parser"]
 
@@ -67,8 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument("--logs", nargs="*", default=list(LOG_NAMES))
     p_camp.add_argument("--n-jobs", type=int, default=2000)
     p_camp.add_argument("--replicas", type=int, default=3)
-    p_camp.add_argument("--cache", default=None, help="JSON cache path")
+    p_camp.add_argument("--cache", default=None, help="JSONL result-cache path")
     p_camp.add_argument("--workers", type=int, default=None)
+    p_camp.add_argument(
+        "--progress-log",
+        default=None,
+        help="stream JSONL progress events here (render with core.format_progress)",
+    )
 
     p_table = sub.add_parser("table", help="print a paper table reproduction")
     p_table.add_argument("--which", required=True, choices=["1", "4", "6", "7", "8"])
@@ -121,7 +124,11 @@ def _campaign_from_args(args: argparse.Namespace):
         replicas=args.replicas,
     )
     return run_campaign(
-        config, cache_path=args.cache, workers=args.workers, progress=True
+        config,
+        cache_path=args.cache,
+        workers=args.workers,
+        progress=True,
+        progress_path=getattr(args, "progress_log", None),
     )
 
 

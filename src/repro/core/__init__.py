@@ -1,6 +1,12 @@
 """Experiment orchestration: triples, campaign, cross-validation, reports."""
 
-from .campaign import CampaignConfig, CampaignResult, run_campaign
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    ResultCache,
+    run_campaign,
+    trace_digest,
+)
 from .crossval import (
     CrossValidationRow,
     average_reductions,
@@ -13,7 +19,13 @@ from .prediction_analysis import (
     analyze_predictions,
     table8_rows,
 )
-from .reporting import ascii_scatter, format_percent, format_table
+from .reporting import (
+    ascii_scatter,
+    format_percent,
+    format_progress,
+    format_table,
+    load_progress,
+)
 from .sensitivity import SweepPoint, sweep_estimate_quality, sweep_offered_load
 from .run import RunOutcome, run_triple, run_triple_on_trace
 from .triples import (
@@ -29,7 +41,9 @@ from .triples import (
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "ResultCache",
     "run_campaign",
+    "trace_digest",
     "CrossValidationRow",
     "average_reductions",
     "leave_one_out",
@@ -40,7 +54,9 @@ __all__ = [
     "table8_rows",
     "ascii_scatter",
     "format_percent",
+    "format_progress",
     "format_table",
+    "load_progress",
     "SweepPoint",
     "sweep_estimate_quality",
     "sweep_offered_load",

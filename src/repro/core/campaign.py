@@ -6,22 +6,32 @@ trace draws per log, since a simulation-sized synthetic subset is one
 sample of a stochastic workload (the paper runs each real log once; see
 DESIGN.md for the protocol difference).
 
-Results are cached on disk keyed by every input that affects the number,
-so re-running a campaign (e.g. from several benchmarks) costs nothing.
-Simulations are independent and dispatch across processes.
+The campaign runner is built for throughput and restartability:
+
+* simulations fan out over a :class:`ProcessPoolExecutor` and results are
+  consumed as they complete, not in submission order;
+* every finished cell is appended immediately to an on-disk JSONL result
+  cache keyed by (trace digest, triple key, seed, engine version), so a
+  killed campaign resumes where it stopped and a finished campaign
+  re-runs with **zero** simulations;
+* progress is streamed to a JSONL file (and optionally stdout) that
+  :mod:`repro.core.reporting` can render at any time.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
+from typing import IO, Sequence
 
 import numpy as np
 
 from ..metrics.slowdown import DEFAULT_TAU
-from ..workload.archive import LOG_NAMES, stable_seed
+from ..sim.engine import ENGINE_VERSION
+from ..workload.archive import LOG_NAMES, get_trace, stable_seed
 from .run import run_triple
 from .triples import (
     EASY_TRIPLE,
@@ -31,11 +41,38 @@ from .triples import (
     reference_triples,
 )
 
-__all__ = ["CampaignConfig", "CampaignResult", "run_campaign", "CACHE_VERSION"]
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "trace_digest",
+    "CACHE_VERSION",
+    "ResultCache",
+]
 
-#: Bump when the workload generator or engine semantics change, so stale
-#: cached simulation outcomes are never reused.
-CACHE_VERSION = 3
+#: Bump when the cache record layout changes.  Engine/workload semantic
+#: changes are covered separately: the cache token embeds ENGINE_VERSION
+#: and the per-trace content digest.
+CACHE_VERSION = 4
+
+#: memoised (log, n_jobs, seed) -> 16-hex digest of the generated trace.
+_DIGEST_MEMO: dict[tuple[str, int, int], str] = {}
+
+
+def trace_digest(log: str, n_jobs: int, seed: int) -> str:
+    """Content digest of the synthetic trace a campaign cell runs on.
+
+    Memoised per process: the first call generates the trace (the same
+    deterministic generation the worker will repeat) and hashes its job
+    arrays, so generator changes or reseeding invalidate exactly the
+    affected cache cells and nothing else.
+    """
+    key = (log, n_jobs, seed)
+    digest = _DIGEST_MEMO.get(key)
+    if digest is None:
+        digest = get_trace(log, n_jobs=n_jobs, seed=seed).digest()
+        _DIGEST_MEMO[key] = digest
+    return digest
 
 
 @dataclass(frozen=True)
@@ -53,8 +90,10 @@ class CampaignConfig:
         return [base + r for r in range(self.replicas)]
 
     def cache_token(self, log: str, triple_key: str, seed: int) -> str:
+        digest = trace_digest(log, self.n_jobs, seed)
         return (
-            f"v{CACHE_VERSION}|{log}|{triple_key}|n={self.n_jobs}|s={seed}"
+            f"v{CACHE_VERSION}|e{ENGINE_VERSION}|{log}@{digest}|{triple_key}"
+            f"|n={self.n_jobs}|s={seed}"
             f"|mp={self.min_prediction:g}|tau={self.tau:g}"
         )
 
@@ -136,35 +175,95 @@ class CampaignResult:
         return rows
 
 
-class _DiskCache:
-    """Flat JSON cache of simulation outcomes."""
+class ResultCache:
+    """Append-only JSONL cache of simulation outcomes.
+
+    One line per finished cell: ``{"token": ..., "value": ...}``.  Every
+    :meth:`put` is written through immediately, so an interrupted
+    campaign loses at most the cells still in flight; corrupt or partial
+    trailing lines (a crash mid-write) are skipped on load.
+    """
 
     def __init__(self, path: str | None) -> None:
         self.path = path
         self._data: dict[str, float] = {}
+        self._fh: IO[str] | None = None
         if path and os.path.exists(path):
-            try:
-                with open(path, "r", encoding="utf-8") as fh:
-                    self._data = {str(k): float(v) for k, v in json.load(fh).items()}
-            except (json.JSONDecodeError, OSError, ValueError):
-                self._data = {}
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        rec = json.loads(line)
+                        self._data[str(rec["token"])] = float(rec["value"])
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        continue  # tolerate torn writes and legacy formats
+
+    def __len__(self) -> int:
+        return len(self._data)
 
     def get(self, token: str) -> float | None:
         return self._data.get(token)
 
     def put(self, token: str, value: float) -> None:
         self._data[token] = value
+        if self.path:
+            if self._fh is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                needs_newline = False
+                if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+                    with open(self.path, "rb") as fh:
+                        fh.seek(-1, os.SEEK_END)
+                        needs_newline = fh.read(1) != b"\n"
+                self._fh = open(self.path, "a", encoding="utf-8")
+                if needs_newline:
+                    # a torn tail line (crash mid-write) must not swallow
+                    # the first record we append after it
+                    self._fh.write("\n")
+            self._fh.write(json.dumps({"token": token, "value": value}) + "\n")
+            self._fh.flush()
 
     def flush(self) -> None:
-        if not self.path:
-            return
-        directory = os.path.dirname(self.path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        tmp = f"{self.path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(self._data, fh)
-        os.replace(tmp, self.path)
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+#: Backwards-compatible alias (the seed's flat-JSON cache class name).
+_DiskCache = ResultCache
+
+
+class _ProgressLog:
+    """JSONL progress stream consumed by :mod:`repro.core.reporting`."""
+
+    def __init__(self, path: str | None, echo: bool = False) -> None:
+        self.path = path
+        self.echo = echo
+        self._fh: IO[str] | None = None
+        self._t0 = time.monotonic()
+        if path:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fh = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        event = {**event, "elapsed": round(time.monotonic() - self._t0, 3)}
+        if self._fh is not None:
+            self._fh.write(json.dumps(event) + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
 
 def _run_one(args: tuple) -> tuple[str, str, int, float]:
@@ -182,13 +281,43 @@ def run_campaign(
     workers: int | None = None,
     include_references: bool = True,
     progress: bool = False,
+    progress_path: str | None = None,
+    triples: Sequence[HeuristicTriple] | None = None,
 ) -> CampaignResult:
-    """Run (or load from cache) the full campaign for ``config``."""
-    triples = campaign_triples()
-    if include_references:
-        triples = triples + reference_triples()
-    cache = _DiskCache(cache_path)
+    """Run (or load from cache) the campaign for ``config``.
 
+    ``triples`` restricts the campaign to a subset (default: the paper's
+    128 plus, with ``include_references``, the 2 clairvoyant references).
+    ``progress_path`` streams JSONL progress events; ``progress=True``
+    additionally prints a line every 50 finished simulations.
+    """
+    if triples is None:
+        triples = campaign_triples()
+        if include_references:
+            triples = triples + reference_triples()
+    else:
+        triples = list(triples)
+    cache = ResultCache(cache_path)
+    plog = _ProgressLog(progress_path)
+    try:
+        return _run_campaign_inner(
+            config, cache, plog, triples, workers, progress
+        )
+    finally:
+        # a failing worker must not leak the cache/progress handles; every
+        # cell finished before the failure is already flushed to disk
+        plog.close()
+        cache.close()
+
+
+def _run_campaign_inner(
+    config: CampaignConfig,
+    cache: ResultCache,
+    plog: _ProgressLog,
+    triples: list[HeuristicTriple],
+    workers: int | None,
+    progress: bool,
+) -> CampaignResult:
     wanted: list[tuple[str, str, int]] = []
     for log in config.logs:
         for seed in config.seeds_for(log):
@@ -200,6 +329,17 @@ def run_campaign(
         for (log, key, seed) in wanted
         if cache.get(config.cache_token(log, key, seed)) is None
     ]
+    plog.emit(
+        {
+            "event": "start",
+            "total": len(wanted),
+            "cached": len(wanted) - len(pending),
+            "pending": len(pending),
+            "logs": list(config.logs),
+            "n_jobs": config.n_jobs,
+            "replicas": config.replicas,
+        }
+    )
     if pending:
         jobs = [
             (log, key, config.n_jobs, seed, config.min_prediction, config.tau)
@@ -208,20 +348,36 @@ def run_campaign(
         if workers is None:
             cpu = os.cpu_count() or 1
             workers = max(1, min(cpu - 1, 16))
+
+        done = 0
+
+        def record(log: str, key: str, seed: int, score: float) -> None:
+            nonlocal done
+            done += 1
+            cache.put(config.cache_token(log, key, seed), score)
+            plog.emit(
+                {
+                    "event": "cell",
+                    "log": log,
+                    "triple": key,
+                    "seed": seed,
+                    "avebsld": score,
+                    "done": done,
+                    "total": len(jobs),
+                }
+            )
+            if progress and done % 50 == 0:
+                print(f"  campaign: {done}/{len(jobs)} simulations done")
+
         if workers <= 1 or len(jobs) <= 2:
-            completed = map(_run_one, jobs)
-            for idx, (log, key, seed, score) in enumerate(completed):
-                cache.put(config.cache_token(log, key, seed), score)
-                if progress and (idx + 1) % 50 == 0:
-                    print(f"  campaign: {idx + 1}/{len(jobs)} simulations done")
+            for log, key, seed, score in map(_run_one, jobs):
+                record(log, key, seed, score)
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                for idx, (log, key, seed, score) in enumerate(
-                    pool.map(_run_one, jobs, chunksize=4)
-                ):
-                    cache.put(config.cache_token(log, key, seed), score)
-                    if progress and (idx + 1) % 50 == 0:
-                        print(f"  campaign: {idx + 1}/{len(jobs)} simulations done")
+                futures = [pool.submit(_run_one, job) for job in jobs]
+                for future in as_completed(futures):
+                    log, key, seed, score = future.result()
+                    record(log, key, seed, score)
         cache.flush()
 
     result = CampaignResult(config=config)
@@ -236,4 +392,5 @@ def run_campaign(
                     raise RuntimeError(f"campaign cache missing {token}")
                 values.append(value)
             result.scores[log][triple.key] = values
+    plog.emit({"event": "end", "total": len(wanted)})
     return result

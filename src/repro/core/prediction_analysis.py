@@ -12,8 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..metrics.prediction import mean_absolute_error, mean_loss
-from ..predict.loss import E_LOSS, LossSpec
+from ..predict.loss import E_LOSS
 from ..sim.results import SimulationResult
 from ..workload.archive import get_trace, stable_seed
 from .run import run_triple_on_trace

@@ -6,16 +6,78 @@ tests can all consume the same formatting.
 
 from __future__ import annotations
 
+import json
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "ascii_scatter", "format_percent"]
+__all__ = [
+    "format_table",
+    "ascii_scatter",
+    "format_percent",
+    "load_progress",
+    "format_progress",
+]
 
 
 def format_percent(value: float) -> str:
     """Render a reduction percentage the way the paper does: (28%)."""
     return f"({value:.0f}%)"
+
+
+def load_progress(path: str) -> list[dict]:
+    """Parse a campaign progress JSONL stream (tolerates torn tail lines)."""
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # partial trailing write from a live campaign
+    return events
+
+
+def format_progress(events: Sequence[dict]) -> str:
+    """Render a campaign progress stream as a human-readable report.
+
+    Works on a finished stream or a snapshot of a live one: reports cells
+    finished versus pending, per-log completion, throughput, and -- while
+    the campaign is still running -- a wall-clock estimate of the
+    remainder.
+    """
+    start = next((e for e in events if e.get("event") == "start"), None)
+    cells = [e for e in events if e.get("event") == "cell"]
+    end = next((e for e in events if e.get("event") == "end"), None)
+    if start is None:
+        return "campaign progress: no start event recorded"
+
+    total = int(start.get("total", 0))
+    cached = int(start.get("cached", 0))
+    pending = int(start.get("pending", max(total - cached, 0)))
+    done = len(cells)
+    lines = [
+        f"campaign: {total} cells ({cached} cached, {pending} to simulate)",
+        f"simulated: {done}/{pending}",
+    ]
+    if cells:
+        per_log: dict[str, int] = {}
+        for cell in cells:
+            per_log[cell.get("log", "?")] = per_log.get(cell.get("log", "?"), 0) + 1
+        for log in start.get("logs", sorted(per_log)):
+            if log in per_log:
+                lines.append(f"  {log}: {per_log[log]} cells")
+        elapsed = float(cells[-1].get("elapsed", 0.0))
+        if elapsed > 0:
+            rate = done / elapsed
+            lines.append(f"throughput: {rate:.2f} simulations/s over {elapsed:.0f}s")
+            if end is None and rate > 0 and done < pending:
+                lines.append(f"estimated remaining: {(pending - done) / rate:.0f}s")
+    if end is not None:
+        lines.append(f"finished in {float(end.get('elapsed', 0.0)):.0f}s")
+    return "\n".join(lines)
 
 
 def format_table(

@@ -8,7 +8,6 @@ cross-validated selection of Section 6.3.3.
 
 from __future__ import annotations
 
-import math
 from itertools import combinations
 
 import numpy as np

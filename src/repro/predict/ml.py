@@ -28,7 +28,7 @@ from ..sim.results import JobRecord
 from .base import Predictor, UserHistoryTracker
 from .basis import PolynomialBasis
 from .features import N_FEATURES, extract_features
-from .loss import BRANCHES, LossSpec, weight_factor
+from .loss import LossSpec
 from .nag import NagOptimizer
 
 __all__ = ["MLPredictor"]

@@ -4,8 +4,10 @@ from .base import Scheduler
 from .conservative import ConservativeScheduler
 from .easy import EasyScheduler, compute_shadow
 from .fcfs import FcfsScheduler
+from .legacy import LegacyConservativeScheduler, LegacyEasyScheduler
 from .ordering import BACKFILL_ORDERS, order_queue
 from .priority import MultifactorScheduler, PriorityWeights
+from .profile_structure import IncrementalProfile, ReleaseTable
 
 __all__ = [
     "Scheduler",
@@ -13,8 +15,12 @@ __all__ = [
     "EasyScheduler",
     "compute_shadow",
     "FcfsScheduler",
+    "LegacyConservativeScheduler",
+    "LegacyEasyScheduler",
     "MultifactorScheduler",
     "PriorityWeights",
+    "IncrementalProfile",
+    "ReleaseTable",
     "BACKFILL_ORDERS",
     "order_queue",
 ]
@@ -36,6 +42,12 @@ def make_scheduler(name: str) -> Scheduler:
         "conservative-sjbf": lambda: ConservativeScheduler("sjbf"),
         "multifactor": lambda: MultifactorScheduler(),
         "multifactor-sjbf": lambda: MultifactorScheduler(backfill_order="sjbf"),
+        # seed per-pass-rescan implementations, kept as correctness and
+        # performance oracles (see sched/legacy.py)
+        "legacy-easy": lambda: LegacyEasyScheduler("fcfs"),
+        "legacy-easy-sjbf": lambda: LegacyEasyScheduler("sjbf"),
+        "legacy-conservative": lambda: LegacyConservativeScheduler("fcfs"),
+        "legacy-conservative-sjbf": lambda: LegacyConservativeScheduler("sjbf"),
     }
     try:
         return registry[name]()

@@ -31,6 +31,14 @@ class Scheduler(ABC):
         """A job has been released; add it to the waiting queue."""
         self._queue.append(record)
 
+    def on_start(self, record: JobRecord, now: float) -> None:
+        """A selected job was placed on the machine.  Default: nothing.
+
+        Profile-based schedulers use this delta (with :meth:`on_finish`
+        and :meth:`on_correction`) to maintain their availability
+        structures incrementally instead of rescanning machine state.
+        """
+
     def on_finish(self, record: JobRecord) -> None:
         """A job completed.  Default: nothing (queue unaffected)."""
 

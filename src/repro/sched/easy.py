@@ -25,6 +25,7 @@ from ..sim.machine import Machine
 from ..sim.results import JobRecord
 from .base import Scheduler
 from .ordering import BACKFILL_ORDERS, order_queue
+from .profile_structure import ReleaseTable
 
 __all__ = ["EasyScheduler", "compute_shadow"]
 
@@ -68,6 +69,13 @@ class EasyScheduler(Scheduler):
 
     ``backfill_order='fcfs'`` is classic EASY; ``'sjbf'`` is EASY-SJBF
     (Tsafrir et al.), the variant the paper's winning triple uses.
+
+    The machine's predicted-release profile is tracked incrementally in a
+    :class:`ReleaseTable` fed by the engine's start/finish/correction
+    deltas, so the shadow-time query walks a short sorted prefix instead
+    of rebuilding and sorting the full release list every pass.  The
+    schedule produced is identical to the seed per-pass rescan (kept as
+    :class:`repro.sched.legacy.LegacyEasyScheduler` for verification).
     """
 
     def __init__(self, backfill_order: str = "fcfs") -> None:
@@ -79,6 +87,25 @@ class EasyScheduler(Scheduler):
             )
         self.backfill_order = backfill_order
         self.name = "easy" if backfill_order == "fcfs" else f"easy-{backfill_order}"
+        self._releases = ReleaseTable()
+        #: set on the first delta; drivers that never feed deltas (unit
+        #: tests poking select_jobs by hand) get a full resync per pass.
+        self._delta_fed = False
+
+    # -- engine delta feed --------------------------------------------------
+    def on_start(self, record: JobRecord, now: float) -> None:
+        self._delta_fed = True
+        self._releases.add(
+            record.job_id, now + record.predicted_runtime, record.processors
+        )
+
+    def on_finish(self, record: JobRecord) -> None:
+        self._releases.discard(record.job_id)
+
+    def on_correction(self, record: JobRecord) -> None:
+        self._releases.move(
+            record.job_id, record.start_time + record.predicted_runtime
+        )
 
     def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
         started: list[JobRecord] = []
@@ -93,13 +120,18 @@ class EasyScheduler(Scheduler):
             return started
 
         # Phase 2: the head cannot start; compute its reservation.  The
-        # release profile must include the jobs we just decided to start.
-        releases = machine.predicted_releases(now)
-        for rec in started:
-            releases.append((now + rec.predicted_runtime, rec.processors))
-        releases.sort()
+        # release profile must include the jobs we just decided to start
+        # (the engine feeds them to the table only after this pass).
+        if not self._delta_fed or not self._releases.in_sync_with(machine):
+            # driven outside the engine (unit tests): rebuild from state
+            self._releases.resync(machine)
         head = self._queue[0]
-        shadow, extra = compute_shadow(head.processors, free, releases, now)
+        shadow, extra = self._releases.shadow(
+            head.processors,
+            free,
+            now,
+            [(now + rec.predicted_runtime, rec.processors) for rec in started],
+        )
 
         # Phase 3: backfill.  A candidate may start iff it fits now and
         # does not delay the head's reservation.

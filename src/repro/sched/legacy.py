@@ -1,0 +1,141 @@
+"""The seed per-pass-rescan schedulers, kept as correctness oracles.
+
+These are the pre-profile implementations of EASY and conservative
+backfilling: every scheduling pass rebuilds the machine's future
+availability from scratch (sorting the full predicted-release list,
+or reconstructing a whole :class:`AvailabilityProfile` release by
+release).  They are retained verbatim so that
+
+* the equivalence test suite can assert the profile-based hot path
+  produces *identical* schedules, job for job, and
+* ``benchmarks/bench_engine.py`` can measure the speedup against the
+  exact seed behaviour.
+
+Do not use these in campaigns; they are O(running x queued) per pass.
+"""
+
+from __future__ import annotations
+
+from ..sim.machine import Machine
+from ..sim.profile import AvailabilityProfile
+from ..sim.results import JobRecord
+from .base import Scheduler
+from .easy import compute_shadow
+from .ordering import BACKFILL_ORDERS, order_queue
+
+__all__ = ["LegacyEasyScheduler", "LegacyConservativeScheduler"]
+
+
+class _SeedProfile(AvailabilityProfile):
+    """Seed availability profile with the original anchor-probing fit query.
+
+    The modern :meth:`AvailabilityProfile.earliest_fit` is a single O(S)
+    sweep; the seed probed ``min_available`` from every breakpoint in
+    turn (O(S^2) per query).  The seed behaviour is preserved here so the
+    legacy schedulers benchmark exactly what the seed shipped.
+    """
+
+    def earliest_fit(self, processors: int, duration: float, not_before: float) -> float:
+        if processors > self.processors:
+            raise ValueError(
+                f"cannot fit {processors} processors on an {self.processors}-machine"
+            )
+        anchors = [max(not_before, self._times[0])]
+        anchors.extend(t for t in self._times if t > anchors[0])
+        for anchor in anchors:
+            if self.min_available(anchor, duration) >= processors:
+                return anchor
+        raise AssertionError(
+            "no fit found; the final profile segment should make this impossible"
+        )
+
+
+class LegacyEasyScheduler(Scheduler):
+    """Seed EASY backfilling: full release rescan every pass."""
+
+    def __init__(self, backfill_order: str = "fcfs") -> None:
+        super().__init__()
+        if backfill_order not in BACKFILL_ORDERS:
+            raise KeyError(
+                f"unknown backfill order {backfill_order!r}; "
+                f"known: {', '.join(BACKFILL_ORDERS)}"
+            )
+        self.backfill_order = backfill_order
+        self.name = "easy" if backfill_order == "fcfs" else f"easy-{backfill_order}"
+
+    def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
+        started: list[JobRecord] = []
+        free = machine.free
+
+        # Phase 1: start the queue head(s) while they fit (FCFS priority).
+        while self._queue and self._queue[0].processors <= free:
+            record = self._queue.pop(0)
+            free -= record.processors
+            started.append(record)
+        if not self._queue:
+            return started
+
+        # Phase 2: the head cannot start; compute its reservation.  The
+        # release profile must include the jobs we just decided to start.
+        releases = machine.predicted_releases(now)
+        for rec in started:
+            releases.append((now + rec.predicted_runtime, rec.processors))
+        releases.sort()
+        head = self._queue[0]
+        shadow, extra = compute_shadow(head.processors, free, releases, now)
+
+        # Phase 3: backfill.  A candidate may start iff it fits now and
+        # does not delay the head's reservation.
+        candidates = order_queue(self._queue[1:], self.backfill_order)
+        backfilled_ids: set[int] = set()
+        for record in candidates:
+            if record.processors > free:
+                continue
+            finishes_before_shadow = now + record.predicted_runtime <= shadow
+            if finishes_before_shadow or record.processors <= extra:
+                free -= record.processors
+                if not finishes_before_shadow:
+                    extra -= record.processors
+                started.append(record)
+                backfilled_ids.add(record.job_id)
+        if backfilled_ids:
+            self._queue = [r for r in self._queue if r.job_id not in backfilled_ids]
+        return started
+
+
+class LegacyConservativeScheduler(Scheduler):
+    """Seed conservative backfilling: profile rebuilt every pass."""
+
+    def __init__(self, reservation_order: str = "fcfs") -> None:
+        super().__init__()
+        if reservation_order not in BACKFILL_ORDERS:
+            raise KeyError(
+                f"unknown reservation order {reservation_order!r}; "
+                f"known: {', '.join(BACKFILL_ORDERS)}"
+            )
+        self.reservation_order = reservation_order
+        self.name = (
+            "conservative"
+            if reservation_order == "fcfs"
+            else f"conservative-{reservation_order}"
+        )
+
+    def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
+        if not self._queue:
+            return []
+        profile = _SeedProfile.from_releases(
+            machine.processors, now, machine.free, machine.predicted_releases(now)
+        )
+        started: list[JobRecord] = []
+        started_ids: set[int] = set()
+        for record in order_queue(self._queue, self.reservation_order):
+            start = profile.earliest_fit(
+                record.processors, record.predicted_runtime, not_before=now
+            )
+            profile.reserve(start, record.predicted_runtime, record.processors)
+            if start == now:
+                started.append(record)
+                started_ids.add(record.job_id)
+        if started_ids:
+            self._queue = [r for r in self._queue if r.job_id not in started_ids]
+        return started

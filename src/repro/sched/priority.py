@@ -22,8 +22,7 @@ from dataclasses import dataclass
 
 from ..sim.machine import Machine
 from ..sim.results import JobRecord
-from .easy import EasyScheduler, compute_shadow
-from .ordering import BACKFILL_ORDERS, order_queue
+from .easy import EasyScheduler
 
 __all__ = ["PriorityWeights", "MultifactorScheduler"]
 

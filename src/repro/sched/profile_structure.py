@@ -1,0 +1,250 @@
+"""Incremental availability structures for the scheduling hot path.
+
+The seed implementation recomputed the machine's future availability
+from scratch at every scheduling pass: EASY sorted the full
+predicted-release list (O(running log running) per pass) and
+conservative rebuilt a whole :class:`~repro.sim.profile.AvailabilityProfile`
+release by release (O(running^2) per pass).  Over a week-long trace that
+per-pass rescan dominates simulation time.
+
+This module provides the two structures that replace it, both maintained
+*across* scheduling passes and updated by the engine's start/finish/
+re-prediction deltas (see :meth:`repro.sched.base.Scheduler.on_start`
+and friends):
+
+* :class:`ReleaseTable` -- a sorted multiset of the running jobs'
+  ``(predicted end, processors)`` pairs with O(log n) lookup and
+  O(log n + memmove) updates.  EASY's shadow-time query walks only the
+  prefix of releases it needs instead of rebuilding and sorting the
+  whole list.
+* :class:`IncrementalProfile` -- a persistent step function of free
+  processors over future time (the conservative scheduler's reservation
+  substrate), updated in place on every start/finish/correction and
+  snapshot-copied per pass instead of rebuilt.
+
+Both structures can resynchronise from a :class:`~repro.sim.machine.Machine`
+when driven outside the engine (unit tests call ``select_jobs`` by hand),
+so correctness never depends on the delta feed being wired up.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING, Sequence
+
+from ..sim.profile import AvailabilityProfile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.machine import Machine
+
+__all__ = ["ReleaseTable", "IncrementalProfile"]
+
+
+class ReleaseTable:
+    """Sorted multiset of running jobs' ``(predicted end, processors)``.
+
+    Entries are kept sorted by ``(end, job_id)`` so updates bisect to a
+    deterministic position.  Query-time clamping of past predicted ends
+    to ``now`` (the machine's "about to finish" convention) preserves the
+    order, so no re-sort is ever needed.
+    """
+
+    __slots__ = ("_entries", "_by_job")
+
+    def __init__(self) -> None:
+        #: sorted (predicted_end, job_id, processors) per running job.
+        self._entries: list[tuple[float, int, int]] = []
+        self._by_job: dict[int, tuple[float, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- delta feed ----------------------------------------------------------
+    def add(self, job_id: int, predicted_end: float, processors: int) -> None:
+        """A job started: it will release ``processors`` at ``predicted_end``."""
+        if job_id in self._by_job:
+            raise ValueError(f"job {job_id} is already tracked")
+        bisect.insort(self._entries, (predicted_end, job_id, processors))
+        self._by_job[job_id] = (predicted_end, processors)
+
+    def discard(self, job_id: int) -> None:
+        """A job finished: drop its release (no-op if untracked)."""
+        entry = self._by_job.pop(job_id, None)
+        if entry is None:
+            return
+        end, processors = entry
+        idx = bisect.bisect_left(self._entries, (end, job_id, processors))
+        del self._entries[idx]
+
+    def move(self, job_id: int, new_end: float) -> None:
+        """A job's prediction was corrected: shift its release time."""
+        end, processors = self._by_job[job_id]
+        idx = bisect.bisect_left(self._entries, (end, job_id, processors))
+        del self._entries[idx]
+        bisect.insort(self._entries, (new_end, job_id, processors))
+        self._by_job[job_id] = (new_end, processors)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_job.clear()
+
+    def resync(self, machine: "Machine") -> None:
+        """Rebuild from the machine's running set (out-of-engine drivers)."""
+        self.clear()
+        entries = self._entries
+        by_job = self._by_job
+        for run in machine.running:
+            job_id = run.record.job_id
+            entry = (run.predicted_end, job_id, run.record.processors)
+            entries.append(entry)
+            by_job[job_id] = (entry[0], entry[2])
+        entries.sort()
+
+    def in_sync_with(self, machine: "Machine") -> bool:
+        """Cheap desync check for partially hook-fed drivers.
+
+        Count-based only: callers that never feed deltas must resync
+        unconditionally (the schedulers do, via their hook-seen flag);
+        callers that feed *every* delta are exactly in sync.  Feeding
+        some deltas but not others is a contract violation this check
+        cannot always catch.
+        """
+        return len(self._entries) == machine.n_running
+
+    # -- queries -------------------------------------------------------------
+    def releases(self, now: float) -> list[tuple[float, int]]:
+        """The machine's clamped ``(end, processors)`` list, soonest first.
+
+        Equivalent to :meth:`repro.sim.machine.Machine.predicted_releases`
+        but served from the incrementally-maintained order.
+        """
+        return [(end if end > now else now, procs) for end, _, procs in self._entries]
+
+    def shadow(
+        self,
+        head_processors: int,
+        free: int,
+        now: float,
+        pending: Sequence[tuple[float, int]] = (),
+    ) -> tuple[float, int]:
+        """Compute the head job's ``(shadow time, extra processors)``.
+
+        Semantically identical to :func:`repro.sched.easy.compute_shadow`
+        over the clamped release list merged with ``pending`` (releases of
+        jobs selected earlier in the same pass, not yet started on the
+        machine) -- but lazily: the scan stops at the shadow instead of
+        materialising and sorting the full list.
+        """
+        available = free
+        if head_processors <= available:
+            return now, available - head_processors
+        entries = self._entries
+        pend = sorted(pending)
+        i, j = 0, 0
+        n, m = len(entries), len(pend)
+        shadow: float | None = None
+        while i < n or j < m:
+            if j >= m or (i < n and entries[i][0] <= pend[j][0]):
+                end, _, processors = entries[i]
+                i += 1
+            else:
+                end, processors = pend[j]
+                j += 1
+            if end < now:
+                end = now
+            if shadow is not None and end > shadow:
+                break
+            available += processors
+            if shadow is None and available >= head_processors:
+                shadow = end
+        if shadow is None:
+            raise ValueError(
+                f"head job needing {head_processors} processors can never start "
+                f"(free={free}, releases={self.releases(now)}, pending={list(pending)})"
+            )
+        return shadow, available - head_processors
+
+
+class IncrementalProfile(AvailabilityProfile):
+    """A persistent availability profile fed by engine deltas.
+
+    Unlike the per-pass throwaway :class:`AvailabilityProfile`, one
+    instance lives for a whole simulation.  It tracks each running job's
+    predicted release so finish/correction deltas know which interval to
+    give back or take away, and hands out cheap per-pass snapshots for
+    reservation scratch work.
+    """
+
+    def __init__(self, processors: int, now: float = 0.0) -> None:
+        super().__init__(processors, now)
+        self._jobs: dict[int, tuple[float, int]] = {}
+
+    # -- delta feed ----------------------------------------------------------
+    def job_started(self, job_id: int, now: float, predicted_runtime: float,
+                    processors: int) -> None:
+        """Claim ``processors`` over ``[now, now + predicted_runtime)``."""
+        if job_id in self._jobs:
+            raise ValueError(f"job {job_id} is already tracked")
+        end = now + predicted_runtime
+        self.reserve(now, predicted_runtime, processors)
+        self._jobs[job_id] = (end, processors)
+
+    def job_finished(self, job_id: int, now: float) -> None:
+        """Release a job early: give back ``[now, predicted end)``."""
+        end, processors = self._jobs.pop(job_id)
+        if end > now:
+            self._apply_delta(now, end, processors)
+
+    def job_corrected(self, job_id: int, new_end: float) -> None:
+        """A running job's predicted end moved (always later): extend its claim.
+
+        The engine fires corrections exactly when the old predicted end
+        expires, so the old claim has already lapsed; the extension spans
+        ``[old end, new end)``.
+        """
+        old_end, processors = self._jobs[job_id]
+        if new_end == old_end:
+            return
+        if new_end < old_end:
+            raise ValueError(
+                f"correction moved job {job_id} backwards: {old_end} -> {new_end}"
+            )
+        self._apply_delta(old_end, new_end, -processors)
+        self._jobs[job_id] = (new_end, processors)
+
+    # -- synchronisation -----------------------------------------------------
+    def in_sync_with(self, machine: "Machine") -> bool:
+        """Count-based desync check; see :meth:`ReleaseTable.in_sync_with`
+        for the contract (all deltas or none)."""
+        return len(self._jobs) == machine.n_running
+
+    def resync(self, machine: "Machine", now: float) -> None:
+        """Rebuild from the machine state (out-of-engine drivers)."""
+        self._jobs.clear()
+        self._times = [now]
+        self._avail = [machine.free]
+        for run in machine.running:
+            end = max(run.predicted_end, now)
+            processors = run.record.processors
+            self.add_release(end, processors)
+            self._jobs[run.record.job_id] = (end, processors)
+
+    # -- per-pass use --------------------------------------------------------
+    def trim(self, now: float) -> None:
+        """Drop stale breakpoints before ``now`` (time never rewinds)."""
+        idx = bisect.bisect_right(self._times, now) - 1
+        if idx > 0:
+            del self._times[:idx]
+            del self._avail[:idx]
+        if self._times[0] < now:
+            self._times[0] = now
+
+    def snapshot(self, now: float) -> AvailabilityProfile:
+        """A throwaway copy starting at ``now`` for reservation scratch work."""
+        self.trim(now)
+        copy = AvailabilityProfile.__new__(AvailabilityProfile)
+        copy.processors = self.processors
+        copy._times = self._times.copy()
+        copy._avail = self._avail.copy()
+        return copy
+

@@ -33,7 +33,12 @@ if TYPE_CHECKING:  # imported for type hints only; avoids an import cycle
     from ..predict.base import Predictor
     from ..sched.base import Scheduler
 
-__all__ = ["Simulator", "EngineStats", "simulate"]
+__all__ = ["Simulator", "EngineStats", "simulate", "ENGINE_VERSION"]
+
+#: Bumped whenever engine or scheduler semantics could change simulation
+#: outcomes; campaign cache keys embed it so stale results never survive
+#: an engine change.  Version 2: incremental profile-based scheduling.
+ENGINE_VERSION = 2
 
 
 @dataclass
@@ -168,6 +173,7 @@ class Simulator:
         started = self.scheduler.select_jobs(now, machine)
         for record in started:
             machine.start(record, now)
+            self.scheduler.on_start(record, now)
             self.predictor.on_start(record, now)
             events.push(
                 Event(

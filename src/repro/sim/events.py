@@ -20,9 +20,9 @@ scheduled for and is dropped if the job has moved on.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
-from typing import Any, Iterator
+from typing import Iterator
 
 __all__ = ["EventType", "Event", "EventQueue"]
 

@@ -78,16 +78,35 @@ class AvailabilityProfile:
 
         Always exists because the final segment extends to infinity --
         provided ``processors <= m`` and every reservation eventually ends.
+
+        Single left-to-right sweep over the segments, O(segments): the
+        candidate anchor advances past every under-capacity segment and a
+        fit is declared once a clean window of length ``duration`` has
+        been crossed.  Equivalent to (but much faster than) probing
+        ``min_available`` from every breakpoint in turn.
         """
         if processors > self.processors:
             raise ValueError(
                 f"cannot fit {processors} processors on an {self.processors}-machine"
             )
-        anchors = [max(not_before, self._times[0])]
-        anchors.extend(t for t in self._times if t > anchors[0])
-        for anchor in anchors:
-            if self.min_available(anchor, duration) >= processors:
+        times = self._times
+        avail = self._avail
+        n = len(times)
+        anchor = max(not_before, times[0])
+        # first segment overlapping the anchor
+        idx = bisect.bisect_right(times, anchor) - 1
+        while idx < n:
+            if avail[idx] < processors:
+                # segment under capacity: the window must start after it
+                idx += 1
+                if idx >= n:
+                    break
+                anchor = times[idx]
+                continue
+            # segment has capacity; does the clean window reach anchor + duration?
+            if idx + 1 >= n or times[idx + 1] >= anchor + duration:
                 return anchor
+            idx += 1
         raise AssertionError(
             "no fit found; the final profile segment should make this impossible"
         )

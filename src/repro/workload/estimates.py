@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from enum import Enum
 
-import numpy as np
 
 __all__ = [
     "EstimateStyle",

@@ -18,7 +18,6 @@ Workload Format and feed the learning features of the paper's Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 __all__ = ["Job", "validate_job"]
 

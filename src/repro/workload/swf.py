@@ -23,7 +23,7 @@ from __future__ import annotations
 import io
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, TextIO
+from typing import TextIO
 
 from .fields import SwfField
 from .job import Job

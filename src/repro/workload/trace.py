@@ -103,6 +103,26 @@ class Trace:
         end = max(j.submit_time + j.runtime for j in self._jobs)
         return end - start
 
+    def digest(self) -> str:
+        """Stable 16-hex-char content digest of the trace.
+
+        Hashes every simulation-relevant job field plus the machine size,
+        so any change to the workload generator (or a differently seeded
+        draw) yields a different digest.  Used to key campaign result
+        caches: a cache cell is only reused for the *exact* trace it was
+        computed on.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"m={self.processors}".encode())
+        for j in self._jobs:
+            h.update(
+                f"|{j.job_id},{j.submit_time!r},{j.runtime!r},"
+                f"{j.processors},{j.requested_time!r},{j.user}".encode()
+            )
+        return h.hexdigest()[:16]
+
     def stats(self) -> TraceStats:
         """Compute summary statistics for calibration and reporting."""
         if not self._jobs:

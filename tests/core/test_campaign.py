@@ -1,15 +1,11 @@
 """Unit tests for the campaign runner (small configurations)."""
 
-import json
-
-import numpy as np
 import pytest
 
 from repro.core import (
     EASY_TRIPLE,
     EASYPP_TRIPLE,
     CampaignConfig,
-    HeuristicTriple,
     run_campaign,
     run_triple,
 )
@@ -78,10 +74,10 @@ class TestCampaign:
 
     def test_cache_reused(self, small_campaign):
         result, cache, config = small_campaign
-        # second run must be served from cache (no new entries)
-        before = json.loads(cache.read_text())
+        # second run must be served from cache (no new entries appended)
+        before = cache.read_text()
         again = run_campaign(config, cache_path=str(cache), workers=1)
-        after = json.loads(cache.read_text())
+        after = cache.read_text()
         assert before == after
         assert again.scores == result.scores
 
@@ -89,9 +85,20 @@ class TestCampaign:
         c1 = CampaignConfig(n_jobs=100)
         c2 = CampaignConfig(n_jobs=200)
         t = EASY_TRIPLE.key
-        assert c1.cache_token("A", t, 1) != c2.cache_token("A", t, 1)
-        assert c1.cache_token("A", t, 1) != c1.cache_token("B", t, 1)
-        assert c1.cache_token("A", t, 1) != c1.cache_token("A", t, 2)
+        assert c1.cache_token("KTH-SP2", t, 1) != c2.cache_token("KTH-SP2", t, 1)
+        assert c1.cache_token("KTH-SP2", t, 1) != c1.cache_token("CTC-SP2", t, 1)
+        assert c1.cache_token("KTH-SP2", t, 1) != c1.cache_token("KTH-SP2", t, 2)
+
+    def test_cache_token_embeds_trace_digest_and_engine_version(self):
+        from repro.core import trace_digest
+        from repro.sim.engine import ENGINE_VERSION
+
+        config = CampaignConfig(n_jobs=100)
+        token = config.cache_token("KTH-SP2", EASY_TRIPLE.key, 7)
+        assert trace_digest("KTH-SP2", 100, 7) in token
+        assert f"e{ENGINE_VERSION}" in token
+        # different seeds draw different traces, so the digests differ too
+        assert trace_digest("KTH-SP2", 100, 7) != trace_digest("KTH-SP2", 100, 8)
 
 
 class TestDiskCache:

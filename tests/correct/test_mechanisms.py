@@ -12,7 +12,7 @@ from repro.correct import (
     make_corrector,
 )
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 def expired_record(predicted=600.0, requested=36000.0, corrections=0):

@@ -1,0 +1,64 @@
+"""Shared test factories, importable as ``tests.helpers``.
+
+Kept outside ``conftest.py`` so test modules can import them with a
+normal absolute import (``from tests.helpers import make_job``) instead
+of the relative ``from ..conftest import ...`` that pytest cannot
+resolve for rootdir-anchored test packages.
+"""
+
+from __future__ import annotations
+
+from repro.sim.results import JobRecord
+from repro.workload import Job
+
+__all__ = ["make_job", "make_record"]
+
+
+def make_job(
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    runtime: float = 100.0,
+    processors: int = 1,
+    requested_time: float | None = None,
+    user: int = 1,
+    **kwargs,
+) -> Job:
+    """Job factory with sane defaults (requested defaults to 2x runtime)."""
+    if requested_time is None:
+        requested_time = 2.0 * runtime
+    return Job(
+        job_id=job_id,
+        submit_time=submit_time,
+        runtime=runtime,
+        processors=processors,
+        requested_time=requested_time,
+        user=user,
+        **kwargs,
+    )
+
+
+def make_record(
+    job_id: int = 1,
+    submit_time: float = 0.0,
+    runtime: float = 100.0,
+    processors: int = 1,
+    requested_time: float | None = None,
+    predicted_runtime: float | None = None,
+    user: int = 1,
+) -> JobRecord:
+    """JobRecord factory; prediction defaults to the requested time."""
+    job = make_job(
+        job_id=job_id,
+        submit_time=submit_time,
+        runtime=runtime,
+        processors=processors,
+        requested_time=requested_time,
+        user=user,
+    )
+    record = JobRecord(job=job)
+    record.predicted_runtime = (
+        predicted_runtime if predicted_runtime is not None else job.requested_time
+    )
+    record.initial_prediction = record.predicted_runtime
+    record.raw_prediction = record.predicted_runtime
+    return record

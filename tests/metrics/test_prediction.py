@@ -8,7 +8,7 @@ from repro.metrics.prediction import prediction_report, under_prediction_rate
 from repro.predict import E_LOSS, SQUARED_LOSS
 from repro.sim.results import SimulationResult
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 def result_with_predictions(pred_actual_pairs, processors=4):

@@ -10,7 +10,7 @@ from repro.predict import (
     make_predictor,
 )
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 class TestClairvoyant:

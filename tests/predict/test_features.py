@@ -1,6 +1,5 @@
 """Unit tests for the Table 2 feature extractor."""
 
-import math
 
 import numpy as np
 import pytest
@@ -8,7 +7,7 @@ import pytest
 from repro.predict.base import UserHistoryTracker
 from repro.predict.features import FEATURE_NAMES, N_FEATURES, extract_features
 
-from ..conftest import make_job
+from tests.helpers import make_job
 
 DAY = 86400.0
 

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.predict.loss import (
     E_LOSS,
     SQUARED_LOSS,
-    WEIGHTS,
     LossSpec,
     all_loss_specs,
     weight_factor,

@@ -8,7 +8,7 @@ from repro.predict import E_LOSS, SQUARED_LOSS, MLPredictor
 from repro.sched import EasyScheduler
 from repro.sim import simulate
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 def feed_user_stream(pred, runtimes, requested=36000.0, user=1, start_id=1):

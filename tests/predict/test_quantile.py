@@ -5,7 +5,7 @@ import pytest
 
 from repro.predict import QuantilePredictor, make_predictor
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 def run_stream(pred, runtimes, user=1):

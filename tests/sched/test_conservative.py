@@ -8,7 +8,7 @@ from repro.sim import simulate
 from repro.sim.machine import Machine
 from repro.workload import Trace
 
-from ..conftest import make_job, make_record
+from tests.helpers import make_job, make_record
 
 
 class TestConservativeSelection:

@@ -8,7 +8,7 @@ from repro.sched.easy import EasyScheduler, compute_shadow
 from repro.sim.machine import Machine
 from repro.sim.profile import AvailabilityProfile
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 class TestComputeShadow:

@@ -5,7 +5,7 @@ from repro.sched import EasyScheduler, FcfsScheduler
 from repro.sim import simulate
 from repro.sim.machine import Machine
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 class TestFcfs:

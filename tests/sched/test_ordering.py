@@ -11,7 +11,7 @@ from repro.sched import (
     order_queue,
 )
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 class TestOrderings:

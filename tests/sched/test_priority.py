@@ -7,7 +7,7 @@ from repro.sched import EasyScheduler, MultifactorScheduler, PriorityWeights
 from repro.sim import simulate
 from repro.sim.machine import Machine
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 class TestPriorityWeights:

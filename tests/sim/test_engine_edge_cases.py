@@ -13,7 +13,7 @@ from repro.sched import EasyScheduler
 from repro.sim import Simulator, simulate
 from repro.workload import Trace
 
-from ..conftest import make_job
+from tests.helpers import make_job
 
 
 class ConstantPredictor(Predictor):

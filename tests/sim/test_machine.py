@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.machine import Machine
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 class TestMachineLifecycle:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.sim.results import SimulationResult
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 def finished_record(job_id=1, submit=0.0, start=10.0, runtime=100.0, processors=1):

@@ -1,6 +1,5 @@
 """Unit tests for schedule timeline reconstruction."""
 
-import numpy as np
 import pytest
 
 from repro.predict import RequestedTimePredictor
@@ -14,7 +13,7 @@ from repro.sim import (
 )
 from repro.sim.results import SimulationResult
 
-from ..conftest import make_record
+from tests.helpers import make_record
 
 
 def finished(job_id, submit, start, runtime, processors=2):

@@ -1,7 +1,5 @@
 """Unit tests for the workload archive metadata."""
 
-import os
-
 import pytest
 
 from repro.workload import ARCHIVE, LOG_NAMES, get_trace, save_swf, table4_rows

@@ -1,6 +1,5 @@
 """Unit tests for the requested-time (user estimate) model."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

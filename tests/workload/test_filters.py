@@ -12,7 +12,7 @@ from repro.workload.filters import (
     standard_clean,
 )
 
-from ..conftest import make_job
+from tests.helpers import make_job
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.workload import Job
 
-from ..conftest import make_job
+from tests.helpers import make_job
 
 
 class TestJobValidation:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.workload import Trace, dumps_swf, load_swf, loads_swf, save_swf
 
-from ..conftest import make_job
+from tests.helpers import make_job
 
 SAMPLE = """\
 ; Version: 2.2

@@ -4,7 +4,7 @@ import pytest
 
 from repro.workload import Trace
 
-from ..conftest import make_job
+from tests.helpers import make_job
 
 
 class TestTraceConstruction:

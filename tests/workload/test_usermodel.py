@@ -5,7 +5,6 @@ import pytest
 
 from repro.workload.usermodel import (
     SessionJob,
-    UserProfile,
     sample_user_profiles,
     wide_job_runtime_cap,
 )
