@@ -171,6 +171,77 @@ def run_scenario(
     }
 
 
+def run_dispatch_bench(quick: bool) -> dict:
+    """Per-cell dispatch overhead: fsqueue backend vs in-process backend.
+
+    Runs one small campaign cell-set twice through ``run_campaign``'s
+    broker layer -- once on :class:`repro.dist.LocalBroker` (single
+    inline worker) and once on :class:`repro.dist.FsQueueBroker` with a
+    single in-thread ``run_worker`` draining a tmp queue -- and charges
+    the wall-clock difference to the queue mechanics (shard files,
+    claim-by-rename, lease renewals, result tailing).  Simulation work
+    is identical on both sides, so the delta/cell is the price of going
+    distributed; it should stay far below a cell's simulation cost.
+    """
+    import tempfile
+    import threading
+
+    from repro.core import CampaignConfig
+    from repro.core.campaign import trace_digest
+    from repro.dist import FsQueueBroker, LocalBroker, run_worker
+
+    log = "KTH-SP2"
+    n_jobs = 100 if quick else 250
+    config = CampaignConfig(logs=(log,), n_jobs=n_jobs, replicas=1)
+    seed = config.seeds_for(log)[0]
+    triple_keys = [
+        "requested|none|easy",
+        "requested|none|easy-sjbf",
+        "clairvoyant|none|easy",
+        "clairvoyant|none|easy-sjbf",
+        "ave2|incremental|easy",
+        "ave2|incremental|easy-sjbf",
+        "ave3|incremental|easy-sjbf",
+        "requested|none|conservative",
+    ]
+    cells = [(log, key, seed) for key in triple_keys]
+    trace_digest(log, n_jobs, seed)  # warm the shared digest memo
+
+    def on_result(_log, _key, _seed, _value):
+        pass
+
+    t0 = time.perf_counter()
+    LocalBroker(workers=1).dispatch(config, cells, on_result)
+    local_seconds = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-queue-") as tmp:
+        queue_dir = os.path.join(tmp, "queue")
+        broker = FsQueueBroker(
+            queue_dir, cells_per_shard=2, lease_ttl=120.0, poll_interval=0.02
+        )
+        worker = threading.Thread(
+            target=run_worker,
+            args=(queue_dir,),
+            kwargs={"worker_id": "bench", "poll_interval": 0.02, "max_idle": 60.0},
+            daemon=True,
+        )
+        worker.start()
+        t0 = time.perf_counter()
+        broker.dispatch(config, cells, on_result)
+        fsqueue_seconds = time.perf_counter() - t0
+        worker.join(timeout=30)
+
+    overhead = max(0.0, fsqueue_seconds - local_seconds)
+    return {
+        "cells": len(cells),
+        "n_jobs": n_jobs,
+        "local_seconds": round(local_seconds, 4),
+        "fsqueue_seconds": round(fsqueue_seconds, 4),
+        "overhead_seconds_per_cell": round(overhead / len(cells), 4),
+        "overhead_percent": round(overhead / local_seconds * 100.0, 1),
+    }
+
+
 def run_benchmark(quick: bool) -> dict:
     """All scenarios; returns the BENCH_engine.json payload."""
     wide = _wide_trace(quick)
@@ -192,6 +263,13 @@ def run_benchmark(quick: bool) -> dict:
             f"speedup={scenario['speedup']:5.2f}x "
             f"identical={scenario['schedules_identical']}"
         )
+    dispatch = run_dispatch_bench(quick)
+    print(
+        f"  {'dispatch/fsqueue':24s} local={dispatch['local_seconds']:7.3f}s "
+        f"fsqueue={dispatch['fsqueue_seconds']:7.3f}s "
+        f"overhead={dispatch['overhead_seconds_per_cell']*1000:6.1f}ms/cell "
+        f"({dispatch['overhead_percent']:.1f}%)"
+    )
     total_legacy = sum(s["legacy_seconds"] for s in scenarios)
     total_profile = sum(s["profile_seconds"] for s in scenarios)
     return {
@@ -200,6 +278,7 @@ def run_benchmark(quick: bool) -> dict:
         "engine_version": ENGINE_VERSION,
         "python": platform.python_version(),
         "scenarios": scenarios,
+        "dispatch": dispatch,
         "total_profile_seconds": round(total_profile, 4),
         "total_legacy_seconds": round(total_legacy, 4),
         "overall_speedup": round(total_legacy / total_profile, 2),

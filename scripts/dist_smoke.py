@@ -1,0 +1,154 @@
+"""Distributed-campaign smoke test (CI).
+
+Proves the fsqueue dispatch subsystem end to end, with real processes:
+
+1. runs a small campaign single-host (the reference);
+2. runs the *same* campaign through ``repro campaign --backend fsqueue``
+   coordinated over a tmp queue directory, drained by **two**
+   ``repro worker`` subprocesses -- plus a third worker that is
+   SIGKILLed mid-run to prove lease-expiry retry recovers its shard;
+3. canonicalises both result caches (``repro.dist.merge``) and asserts
+   they are **byte-identical**;
+4. leaves the merged cache at ``--out`` for CI artifact upload.
+
+Exit code 0 only if every step, including the byte comparison, passes.
+
+Usage::
+
+    python scripts/dist_smoke.py --out merged_cache.jsonl [--n-jobs 120]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.dist import merge_caches  # noqa: E402
+
+
+def spawn(args: list[str], env: dict, log_path: str) -> subprocess.Popen:
+    log = open(log_path, "w", encoding="utf-8")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env, stdout=log, stderr=subprocess.STDOUT,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="merged_cache.jsonl",
+                        help="where the canonical merged cache lands")
+    parser.add_argument("--log", default="KTH-SP2")
+    parser.add_argument("--n-jobs", type=int, default=120)
+    parser.add_argument("--workdir", default=None,
+                        help="scratch dir (default: a fresh tempdir)")
+    parser.add_argument("--timeout", type=float, default=900.0)
+    args = parser.parse_args(argv)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-dist-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    queue_dir = os.path.join(workdir, "queue")
+    local_cache = os.path.join(workdir, "local.jsonl")
+    dist_cache = os.path.join(workdir, "dist.jsonl")
+    env = {**os.environ, "PYTHONPATH": _SRC + os.pathsep + os.environ.get("PYTHONPATH", "")}
+    campaign_args = [
+        "--logs", args.log, "--n-jobs", str(args.n_jobs), "--replicas", "1",
+    ]
+
+    print(f"[smoke] workdir: {workdir}")
+    t0 = time.monotonic()
+    print("[smoke] 1/4 single-host reference campaign ...")
+    subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", *campaign_args,
+         "--cache", local_cache],
+        env=env, check=True, timeout=args.timeout,
+        stdout=subprocess.DEVNULL,
+    )
+    print(f"[smoke]     done in {time.monotonic() - t0:.0f}s")
+
+    print("[smoke] 2/4 distributed campaign: 2 workers + 1 sacrificial ...")
+    workers = [
+        spawn(["worker", "--queue", queue_dir, "--worker-id", f"smoke-w{i}",
+               "--poll", "0.2", "--max-idle", "120"],
+              env, os.path.join(workdir, f"w{i}.log"))
+        for i in (1, 2)
+    ]
+    victim = spawn(["worker", "--queue", queue_dir, "--worker-id", "smoke-victim",
+                    "--poll", "0.2", "--max-idle", "120"],
+                   env, os.path.join(workdir, "victim.log"))
+    coordinator = spawn(
+        ["campaign", *campaign_args, "--cache", dist_cache,
+         "--backend", "fsqueue", "--queue", queue_dir,
+         "--lease-ttl", "10", "--dist-timeout", str(args.timeout),
+         "--progress-log", os.path.join(workdir, "coordinator.jsonl")],
+        env, os.path.join(workdir, "coordinator.log"),
+    )
+    # kill the victim the moment it claims its first shard: its lease
+    # must expire and the shard must be retried by a surviving worker
+    victim_progress = os.path.join(queue_dir, "progress", "smoke-victim.jsonl")
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        try:
+            with open(victim_progress, "r", encoding="utf-8") as fh:
+                if '"claim"' in fh.read():
+                    break
+        except OSError:
+            pass
+        if coordinator.poll() is not None:
+            break  # campaign already over; nothing left to sabotage
+        time.sleep(0.05)
+    victim.send_signal(signal.SIGKILL)
+    print("[smoke]     victim worker SIGKILLed on first claim; waiting for recovery ...")
+    code = coordinator.wait(timeout=args.timeout)
+    for proc in workers:
+        proc.wait(timeout=120)
+    if code != 0:
+        print(f"[smoke] FAIL: coordinator exited {code}; see {workdir}/coordinator.log")
+        sys.stdout.write(open(os.path.join(workdir, "coordinator.log")).read()[-4000:])
+        return 1
+    print(f"[smoke]     done in {time.monotonic() - t0:.0f}s")
+
+    print("[smoke] 3/4 canonicalise + byte-compare ...")
+    local_canon = os.path.join(workdir, "local.canonical.jsonl")
+    _, local_report = merge_caches([local_cache], out_path=local_canon)
+    _, dist_report = merge_caches([dist_cache], out_path=args.out)
+    print(f"[smoke]     local: {local_report.describe()}")
+    print(f"[smoke]     dist : {dist_report.describe()}")
+    with open(local_canon, "rb") as fh:
+        local_bytes = fh.read()
+    with open(args.out, "rb") as fh:
+        dist_bytes = fh.read()
+    if local_bytes != dist_bytes:
+        print("[smoke] FAIL: merged distributed cache differs from single-host run")
+        return 1
+    print(f"[smoke]     byte-identical: {len(dist_bytes)} bytes, "
+          f"{dist_report.unique} cells")
+
+    print("[smoke] 4/4 worker participation ...")
+    shard_results = [p for p in os.listdir(os.path.join(queue_dir, "results"))]
+    progress_dir = os.path.join(queue_dir, "progress")
+    from repro.core.reporting import format_dist_progress, load_progress, load_progress_dir
+
+    events = load_progress(os.path.join(workdir, "coordinator.jsonl"))
+    events += load_progress_dir(progress_dir)
+    print(format_dist_progress(events))
+    print(f"[smoke] OK ({len(shard_results)} shard result file(s)); "
+          f"merged cache at {args.out}")
+    if args.workdir is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

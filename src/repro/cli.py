@@ -7,6 +7,9 @@ Subcommands::
     repro sim --log KTH-SP2 --predictor ml:sq-lin-large-area \\
               --corrector incremental --scheduler easy-sjbf
     repro campaign --n-jobs 1500 --replicas 2 --cache camp.json
+    repro campaign --backend fsqueue --queue /shared/q --cache camp.json
+    repro worker --queue /shared/q   # drain shards from a queue dir
+    repro merge --out merged.jsonl /shared/q/results
     repro table --which 1|6|7|8      # print a paper table reproduction
 
 ``python -m repro`` works as well as the installed ``repro`` script.
@@ -29,7 +32,7 @@ from .core import (
     table8_rows,
 )
 from .core.reporting import format_percent, format_table
-from .workload import LOG_NAMES, get_trace, save_swf, table4_rows
+from .workload import LOG_NAMES, get_trace, save_swf, stable_seed, table4_rows
 
 __all__ = ["main", "build_parser"]
 
@@ -72,6 +75,59 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream JSONL progress events here (render with core.format_progress)",
     )
+    p_camp.add_argument(
+        "--backend",
+        choices=["local", "fsqueue"],
+        default="local",
+        help="dispatch: this host's process pool, or coordinate "
+        "`repro worker` processes over a shared queue directory",
+    )
+    p_camp.add_argument(
+        "--queue", default=None, help="fsqueue: the shared queue directory"
+    )
+    p_camp.add_argument(
+        "--shards", type=int, default=None,
+        help="fsqueue: fixed shard count (default: ~16 cells per shard)",
+    )
+    p_camp.add_argument(
+        "--lease-ttl", type=float, default=300.0,
+        help="fsqueue: seconds without heartbeat before a shard is re-queued",
+    )
+    p_camp.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="fsqueue: attempts per shard before the campaign fails",
+    )
+    p_camp.add_argument(
+        "--dist-timeout", type=float, default=None,
+        help="fsqueue: give up after this many seconds without completion",
+    )
+
+    p_worker = sub.add_parser(
+        "worker", help="claim and simulate shards from a campaign queue"
+    )
+    p_worker.add_argument("--queue", required=True, help="the shared queue directory")
+    p_worker.add_argument("--worker-id", default=None, help="default: <host>-<pid>")
+    p_worker.add_argument("--poll", type=float, default=0.5, help="claim poll seconds")
+    p_worker.add_argument(
+        "--max-idle", type=float, default=None,
+        help="exit after this many idle seconds (default: wait for DONE/STOP)",
+    )
+    p_worker.add_argument(
+        "--max-shards", type=int, default=None, help="exit after completing N shards"
+    )
+
+    p_merge = sub.add_parser(
+        "merge", help="merge shard result caches into one canonical cache"
+    )
+    p_merge.add_argument(
+        "inputs", nargs="+",
+        help="shard cache files and/or directories of *.jsonl (e.g. QUEUE/results)",
+    )
+    p_merge.add_argument("--out", required=True, help="canonical merged cache path")
+    p_merge.add_argument(
+        "--no-version-check", action="store_true",
+        help="accept cells from other CACHE_VERSION/ENGINE_VERSION codes (unsafe)",
+    )
 
     p_table = sub.add_parser("table", help="print a paper table reproduction")
     p_table.add_argument("--which", required=True, choices=["1", "4", "6", "7", "8"])
@@ -94,10 +150,25 @@ def _cmd_logs() -> int:
     return 0
 
 
+def _resolve_seed(args: argparse.Namespace) -> tuple[int, bool]:
+    """The run's seed and whether it was derived (``--seed`` omitted).
+
+    Derived seeds use :func:`repro.workload.stable_seed`, the same
+    default the campaign uses -- and are *printed*, so every CLI run is
+    reproducible from its own output.
+    """
+    if args.seed is not None:
+        return args.seed, False
+    return stable_seed(args.log), True
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
-    trace = get_trace(args.log, n_jobs=args.n_jobs, seed=args.seed)
+    seed, derived = _resolve_seed(args)
+    trace = get_trace(args.log, n_jobs=args.n_jobs, seed=seed)
     save_swf(trace, args.output)
     stats = trace.stats()
+    origin = "derived from log name; pass --seed to override" if derived else "from --seed"
+    print(f"seed {seed} ({origin})")
     print(f"wrote {args.output}: {stats.describe()}")
     return 0
 
@@ -105,10 +176,13 @@ def _cmd_synth(args: argparse.Namespace) -> int:
 def _cmd_sim(args: argparse.Namespace) -> int:
     corrector = None if args.corrector == "none" else args.corrector
     triple = HeuristicTriple(args.predictor, corrector, args.scheduler)
+    seed, derived = _resolve_seed(args)
     outcome = run_triple(
-        args.log, triple.key, n_jobs=args.n_jobs, seed=args.seed, tau=args.tau
+        args.log, triple.key, n_jobs=args.n_jobs, seed=seed, tau=args.tau
     )
+    origin = "derived from log name" if derived else "from --seed"
     print(f"log        : {outcome.log}")
+    print(f"seed       : {outcome.seed} ({origin})")
     print(f"triple     : {triple.describe()}")
     print(f"AVEbsld    : {outcome.avebsld:.2f}")
     print(f"utilization: {outcome.utilization:.3f}")
@@ -123,12 +197,26 @@ def _campaign_from_args(args: argparse.Namespace):
         n_jobs=args.n_jobs,
         replicas=args.replicas,
     )
+    backend = getattr(args, "backend", "local")
+    if backend == "fsqueue":
+        from .dist import FsQueueBroker
+
+        if not args.queue:
+            raise SystemExit("campaign --backend fsqueue requires --queue DIR")
+        backend = FsQueueBroker(
+            args.queue,
+            n_shards=args.shards,
+            lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts,
+            timeout=args.dist_timeout,
+        )
     return run_campaign(
         config,
         cache_path=args.cache,
         workers=args.workers,
         progress=True,
         progress_path=getattr(args, "progress_log", None),
+        backend=backend,
     )
 
 
@@ -154,6 +242,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title="Campaign overview (paper Table 6 layout)",
         )
     )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from .dist import run_worker
+
+    stats = run_worker(
+        args.queue,
+        worker_id=args.worker_id,
+        poll_interval=args.poll,
+        max_idle=args.max_idle,
+        max_shards=args.max_shards,
+        echo=True,
+    )
+    print(
+        f"worker {stats.worker_id} exiting ({stats.reason}): "
+        f"{stats.shards} shard(s), {stats.cells} simulated cell(s), "
+        f"{stats.cached_cells} served from earlier attempts, "
+        f"{stats.abandoned} abandoned lease(s)"
+    )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from .dist import merge_caches
+
+    _cells, report = merge_caches(
+        args.inputs,
+        out_path=args.out,
+        check_versions=not args.no_version_check,
+    )
+    print(report.describe())
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -227,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sim(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
+    if args.command == "merge":
+        return _cmd_merge(args)
     if args.command == "table":
         return _cmd_table(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -20,14 +20,17 @@ from .prediction_analysis import (
     table8_rows,
 )
 from .reporting import (
+    aggregate_worker_progress,
     ascii_scatter,
+    format_dist_progress,
     format_percent,
     format_progress,
     format_table,
     load_progress,
+    load_progress_dir,
 )
 from .sensitivity import SweepPoint, sweep_estimate_quality, sweep_offered_load
-from .run import RunOutcome, run_triple, run_triple_on_trace
+from .run import RunOutcome, run_cell, run_triple, run_triple_on_trace
 from .triples import (
     EASY_TRIPLE,
     EASYPP_TRIPLE,
@@ -52,15 +55,19 @@ __all__ = [
     "PredictionAnalysis",
     "analyze_predictions",
     "table8_rows",
+    "aggregate_worker_progress",
     "ascii_scatter",
+    "format_dist_progress",
     "format_percent",
     "format_progress",
     "format_table",
     "load_progress",
+    "load_progress_dir",
     "SweepPoint",
     "sweep_estimate_quality",
     "sweep_offered_load",
     "RunOutcome",
+    "run_cell",
     "run_triple",
     "run_triple_on_trace",
     "EASY_TRIPLE",

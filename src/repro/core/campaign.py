@@ -8,12 +8,17 @@ DESIGN.md for the protocol difference).
 
 The campaign runner is built for throughput and restartability:
 
-* simulations fan out over a :class:`ProcessPoolExecutor` and results are
-  consumed as they complete, not in submission order;
+* simulations fan out through a pluggable :class:`repro.dist.Broker`:
+  the default :class:`~repro.dist.broker.LocalBroker` is a single-host
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose results are
+  consumed as they complete; ``backend="fsqueue"`` shards the cell
+  matrix onto a filesystem work queue that any number of ``repro
+  worker`` processes -- on any number of hosts -- drain cooperatively
+  (see :mod:`repro.dist`);
 * every finished cell is appended immediately to an on-disk JSONL result
   cache keyed by (trace digest, triple key, seed, engine version), so a
   killed campaign resumes where it stopped and a finished campaign
-  re-runs with **zero** simulations;
+  re-runs with **zero** simulations -- under either backend;
 * progress is streamed to a JSONL file (and optionally stdout) that
   :mod:`repro.core.reporting` can render at any time.
 """
@@ -23,16 +28,15 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import IO, Sequence
+from typing import IO, TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..metrics.slowdown import DEFAULT_TAU
 from ..sim.engine import ENGINE_VERSION
 from ..workload.archive import LOG_NAMES, get_trace, stable_seed
-from .run import run_triple
+from .run import run_cell
 from .triples import (
     EASY_TRIPLE,
     EASYPP_TRIPLE,
@@ -41,6 +45,9 @@ from .triples import (
     reference_triples,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dist.broker import Broker
+
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
@@ -48,6 +55,8 @@ __all__ = [
     "trace_digest",
     "CACHE_VERSION",
     "ResultCache",
+    "iter_cache_records",
+    "parse_cache_record",
 ]
 
 #: Bump when the cache record layout changes.  Engine/workload semantic
@@ -175,6 +184,43 @@ class CampaignResult:
         return rows
 
 
+def parse_cache_record(line: str) -> tuple[str, float] | None:
+    """One JSONL cache line -> ``(token, value)``, or ``None`` if torn.
+
+    The single parser for the cache record format -- the warm-load path
+    (:class:`ResultCache`), the distributed merge
+    (:mod:`repro.dist.merge`), the coordinator's incremental result
+    tailer and the worker's proven-cell harvest all route through it, so
+    tolerance rules cannot drift between them.
+    """
+    try:
+        rec = json.loads(line)
+        return str(rec["token"]), float(rec["value"])
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None
+
+
+def iter_cache_records(path: str) -> tuple[list[tuple[int, str, float]], int]:
+    """Read one JSONL cell cache: ``([(lineno, token, value), ...], torn)``.
+
+    Unparseable lines (torn writes, including a truncated final line)
+    are skipped and counted, never fatal.
+    """
+    records: list[tuple[int, str, float]] = []
+    torn = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            parsed = parse_cache_record(line)
+            if parsed is None:
+                torn += 1
+                continue
+            records.append((lineno, parsed[0], parsed[1]))
+    return records, torn
+
+
 class ResultCache:
     """Append-only JSONL cache of simulation outcomes.
 
@@ -189,16 +235,9 @@ class ResultCache:
         self._data: dict[str, float] = {}
         self._fh: IO[str] | None = None
         if path and os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        rec = json.loads(line)
-                        self._data[str(rec["token"])] = float(rec["value"])
-                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                        continue  # tolerate torn writes and legacy formats
+            records, _torn = iter_cache_records(path)
+            for _lineno, token, value in records:
+                self._data[token] = value
 
     def __len__(self) -> int:
         return len(self._data)
@@ -240,25 +279,47 @@ class ResultCache:
 _DiskCache = ResultCache
 
 
-class _ProgressLog:
-    """JSONL progress stream consumed by :mod:`repro.core.reporting`."""
+class ProgressLog:
+    """JSONL progress stream consumed by :mod:`repro.core.reporting`.
 
-    def __init__(self, path: str | None, echo: bool = False) -> None:
+    The one writer behind every progress stream: the campaign
+    coordinator uses it bare, distributed workers
+    (:mod:`repro.dist.worker`) tag each event with their ``worker`` id
+    and append (their stream outlives claim/restart cycles) -- so the
+    streams :func:`repro.core.reporting.format_dist_progress` merges can
+    never drift in format.
+    """
+
+    def __init__(
+        self,
+        path: str | None,
+        echo: bool = False,
+        worker: str | None = None,
+        append: bool = False,
+    ) -> None:
         self.path = path
         self.echo = echo
+        self.worker = worker
         self._fh: IO[str] | None = None
         self._t0 = time.monotonic()
         if path:
             directory = os.path.dirname(path)
             if directory:
                 os.makedirs(directory, exist_ok=True)
-            self._fh = open(path, "w", encoding="utf-8")
+            self._fh = open(path, "a" if append else "w", encoding="utf-8")
 
     def emit(self, event: dict) -> None:
+        if self.worker is not None:
+            event = {**event, "worker": self.worker}
         event = {**event, "elapsed": round(time.monotonic() - self._t0, 3)}
         if self._fh is not None:
             self._fh.write(json.dumps(event) + "\n")
             self._fh.flush()
+        if self.echo:
+            detail = {
+                k: v for k, v in event.items() if k not in ("event", "worker")
+            }
+            print(f"[{self.worker or 'campaign'}] {event.get('event')}: {detail}")
 
     def close(self) -> None:
         if self._fh is not None:
@@ -266,13 +327,17 @@ class _ProgressLog:
             self._fh = None
 
 
+#: Backwards-compatible alias (pre-dist private name).
+_ProgressLog = ProgressLog
+
+
 def _run_one(args: tuple) -> tuple[str, str, int, float]:
     """Worker-side shim (must be module-level for pickling)."""
     log, triple_key, n_jobs, seed, min_prediction, tau = args
-    outcome = run_triple(
+    score = run_cell(
         log, triple_key, n_jobs=n_jobs, seed=seed, min_prediction=min_prediction, tau=tau
     )
-    return (log, triple_key, seed, outcome.avebsld)
+    return (log, triple_key, seed, score)
 
 
 def run_campaign(
@@ -283,6 +348,8 @@ def run_campaign(
     progress: bool = False,
     progress_path: str | None = None,
     triples: Sequence[HeuristicTriple] | None = None,
+    backend: "Broker | str" = "local",
+    queue_dir: str | None = None,
 ) -> CampaignResult:
     """Run (or load from cache) the campaign for ``config``.
 
@@ -290,6 +357,11 @@ def run_campaign(
     128 plus, with ``include_references``, the 2 clairvoyant references).
     ``progress_path`` streams JSONL progress events; ``progress=True``
     additionally prints a line every 50 finished simulations.
+
+    ``backend`` selects the dispatch strategy: ``"local"`` (process pool
+    on this host, honouring ``workers``), ``"fsqueue"`` (coordinate
+    external ``repro worker`` processes over the shared ``queue_dir``),
+    or any ready :class:`repro.dist.Broker` instance.
     """
     if triples is None:
         triples = campaign_triples()
@@ -297,11 +369,14 @@ def run_campaign(
             triples = triples + reference_triples()
     else:
         triples = list(triples)
+    from ..dist.broker import resolve_backend
+
+    broker = resolve_backend(backend, workers=workers, queue_dir=queue_dir)
     cache = ResultCache(cache_path)
     plog = _ProgressLog(progress_path)
     try:
         return _run_campaign_inner(
-            config, cache, plog, triples, workers, progress
+            config, cache, plog, triples, broker, progress
         )
     finally:
         # a failing worker must not leak the cache/progress handles; every
@@ -315,7 +390,7 @@ def _run_campaign_inner(
     cache: ResultCache,
     plog: _ProgressLog,
     triples: list[HeuristicTriple],
-    workers: int | None,
+    broker: "Broker",
     progress: bool,
 ) -> CampaignResult:
     wanted: list[tuple[str, str, int]] = []
@@ -341,14 +416,6 @@ def _run_campaign_inner(
         }
     )
     if pending:
-        jobs = [
-            (log, key, config.n_jobs, seed, config.min_prediction, config.tau)
-            for (log, key, seed) in pending
-        ]
-        if workers is None:
-            cpu = os.cpu_count() or 1
-            workers = max(1, min(cpu - 1, 16))
-
         done = 0
 
         def record(log: str, key: str, seed: int, score: float) -> None:
@@ -363,21 +430,13 @@ def _run_campaign_inner(
                     "seed": seed,
                     "avebsld": score,
                     "done": done,
-                    "total": len(jobs),
+                    "total": len(pending),
                 }
             )
             if progress and done % 50 == 0:
-                print(f"  campaign: {done}/{len(jobs)} simulations done")
+                print(f"  campaign: {done}/{len(pending)} simulations done")
 
-        if workers <= 1 or len(jobs) <= 2:
-            for log, key, seed, score in map(_run_one, jobs):
-                record(log, key, seed, score)
-        else:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_one, job) for job in jobs]
-                for future in as_completed(futures):
-                    log, key, seed, score = future.result()
-                    record(log, key, seed, score)
+        broker.dispatch(config, pending, record, emit=plog.emit)
         cache.flush()
 
     result = CampaignResult(config=config)

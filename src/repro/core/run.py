@@ -15,7 +15,7 @@ from ..workload.archive import get_trace, stable_seed
 from ..workload.trace import Trace
 from .triples import HeuristicTriple
 
-__all__ = ["RunOutcome", "run_triple_on_trace", "run_triple"]
+__all__ = ["RunOutcome", "run_triple_on_trace", "run_triple", "run_cell"]
 
 
 @dataclass(frozen=True)
@@ -79,3 +79,29 @@ def run_triple(
         corrections=result.total_corrections(),
         max_queue_length=simulator.stats.max_queue_length,
     )
+
+
+def run_cell(
+    log: str,
+    triple_key: str,
+    n_jobs: int,
+    seed: int,
+    min_prediction: float = 60.0,
+    tau: float = DEFAULT_TAU,
+) -> float:
+    """One campaign cell -> its AVEbsld score.
+
+    The single-cell execution primitive shared by the local process-pool
+    fan-out (:mod:`repro.core.campaign`) and the distributed worker loop
+    (:mod:`repro.dist.worker`).  Module-level and picklable so any
+    executor can dispatch it; deterministic in its arguments.
+    """
+    outcome = run_triple(
+        log,
+        triple_key,
+        n_jobs=n_jobs,
+        seed=seed,
+        min_prediction=min_prediction,
+        tau=tau,
+    )
+    return outcome.avebsld

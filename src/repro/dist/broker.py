@@ -1,0 +1,329 @@
+"""Dispatch backends for the campaign runner.
+
+``run_campaign`` plans which cells need simulating and records results;
+*how* the pending cells get simulated is a :class:`Broker`:
+
+* :class:`LocalBroker` -- the classic single-host
+  :class:`~concurrent.futures.ProcessPoolExecutor` fan-out, refactored
+  behind the interface (and still the default);
+* :class:`FsQueueBroker` -- the distributed coordinator: shard the
+  cells, enqueue them on a :class:`~repro.dist.fsqueue.FsQueue`, let any
+  number of ``repro worker`` processes (local or remote hosts sharing
+  the directory) drain them, re-queue shards whose leases expire
+  (crashed worker == capped automatic retry), harvest per-shard result
+  caches incrementally, and finally verify the merged whole.
+
+Both brokers deliver results through the same ``on_result`` callback, so
+the caller's caching/progress/resume machinery is backend-agnostic, and
+a campaign interrupted under one backend resumes under the other.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..core.campaign import parse_cache_record
+from .fsqueue import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS, FsQueue
+from .merge import merge_caches
+from .shards import DEFAULT_CELLS_PER_SHARD, Cell, plan_shards
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.campaign import CampaignConfig
+
+__all__ = ["Broker", "LocalBroker", "FsQueueBroker", "resolve_backend"]
+
+#: on_result(log, triple_key, seed, avebsld)
+ResultCallback = Callable[[str, str, int, float], None]
+#: emit(progress_event_dict)
+EmitCallback = Callable[[dict], None]
+
+
+class Broker(ABC):
+    """Strategy for simulating a batch of campaign cells."""
+
+    @abstractmethod
+    def dispatch(
+        self,
+        config: "CampaignConfig",
+        cells: Sequence[Cell],
+        on_result: ResultCallback,
+        emit: EmitCallback | None = None,
+    ) -> None:
+        """Simulate every cell, calling ``on_result`` as each finishes.
+
+        Must deliver each cell exactly once (dedup is the broker's job)
+        and raise if any cell cannot be produced.
+        """
+
+
+class LocalBroker(Broker):
+    """Single-host process-pool fan-out (the classic campaign path)."""
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers
+
+    def dispatch(
+        self,
+        config: "CampaignConfig",
+        cells: Sequence[Cell],
+        on_result: ResultCallback,
+        emit: EmitCallback | None = None,
+    ) -> None:
+        from ..core.campaign import _run_one
+
+        jobs = [
+            (log, key, config.n_jobs, seed, config.min_prediction, config.tau)
+            for (log, key, seed) in cells
+        ]
+        workers = self.workers
+        if workers is None:
+            cpu = os.cpu_count() or 1
+            workers = max(1, min(cpu - 1, 16))
+        if workers <= 1 or len(jobs) <= 2:
+            for log, key, seed, score in map(_run_one, jobs):
+                on_result(log, key, seed, score)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_one, job) for job in jobs]
+                for future in as_completed(futures):
+                    log, key, seed, score = future.result()
+                    on_result(log, key, seed, score)
+
+
+class FsQueueBroker(Broker):
+    """Fault-tolerant coordinator over a filesystem work queue.
+
+    The coordinator owns planning and bookkeeping only -- it never
+    simulates.  Crash-restart safe: a restarted coordinator first
+    harvests every result already on disk, re-plans only the remainder
+    under a fresh generation prefix, and clears stale ``todo/`` entries
+    (in-flight claims of presumed-dead workers are left to the lease
+    machinery; their duplicate results dedup by token).
+    """
+
+    def __init__(
+        self,
+        queue_dir: str,
+        n_shards: int | None = None,
+        cells_per_shard: int = DEFAULT_CELLS_PER_SHARD,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        poll_interval: float = 0.5,
+        timeout: float | None = None,
+        bench_path: str | None = None,
+    ) -> None:
+        if not queue_dir:
+            raise ValueError("FsQueueBroker needs a queue directory")
+        self.queue_dir = queue_dir
+        self.n_shards = n_shards
+        self.cells_per_shard = cells_per_shard
+        self.lease_ttl = lease_ttl
+        self.max_attempts = max_attempts
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.bench_path = bench_path
+
+    # -- the coordinator loop -------------------------------------------------
+    def dispatch(
+        self,
+        config: "CampaignConfig",
+        cells: Sequence[Cell],
+        on_result: ResultCallback,
+        emit: EmitCallback | None = None,
+    ) -> None:
+        emit = emit or (lambda event: None)
+        queue = FsQueue.create(self.queue_dir, lease_ttl=self.lease_ttl)
+        queue.check_versions()
+        # a fresh campaign reopens the queue: a stale DONE would make
+        # workers exit instantly, a stale STOP (left by a previous
+        # failed campaign) would poison the directory forever
+        queue.clear_signal("DONE")
+        queue.clear_signal("STOP")
+
+        token_map = {
+            config.cache_token(log, key, seed): (log, key, seed)
+            for (log, key, seed) in cells
+        }
+        seen: set[str] = set()
+        tailer = _ResultTailer(queue)
+
+        def harvest() -> int:
+            fresh = 0
+            for token, value in tailer.poll():
+                if token in seen or token not in token_map:
+                    continue
+                seen.add(token)
+                log, key, seed = token_map[token]
+                on_result(log, key, seed, value)
+                fresh += 1
+            return fresh
+
+        # A previous coordinator may have died with results on disk that
+        # never reached the canonical cache: harvest before planning.
+        harvest()
+        remaining = [
+            token_map[token] for token in token_map if token not in seen
+        ]
+        if not remaining:
+            queue.signal(
+                "DONE",
+                {"generation": int(queue.read_meta().get("generation", 0))},
+            )
+            emit({"event": "dist_done", "shards": 0, "cells": 0})
+            return
+
+        stale = queue.clear_todo()
+        generation = queue.next_generation()
+        shards = plan_shards(
+            remaining,
+            n_jobs=config.n_jobs,
+            n_shards=self.n_shards,
+            cells_per_shard=self.cells_per_shard,
+            bench_path=self.bench_path,
+            prefix=f"g{generation}",
+        )
+        for shard in shards:
+            queue.enqueue(shard.spec(config))
+        own = {shard.shard_id for shard in shards}
+        emit(
+            {
+                "event": "enqueue",
+                "generation": generation,
+                "shards": len(shards),
+                "cells": len(remaining),
+                "stale_dropped": stale,
+                "est_costs": [round(s.est_cost, 2) for s in shards],
+            }
+        )
+
+        started = time.monotonic()
+        while True:
+            harvest()
+            for shard_id, attempt, disposition in queue.requeue_expired(
+                lease_ttl=self.lease_ttl, max_attempts=self.max_attempts
+            ):
+                emit(
+                    {
+                        "event": "requeue" if disposition == "requeued" else "shard_failed",
+                        "shard": shard_id,
+                        "attempt": attempt,
+                    }
+                )
+            done = queue.done_ids()
+            failed = queue.failed_ids() & own
+            if failed:
+                queue.signal("STOP")
+                raise RuntimeError(
+                    f"{len(failed)} shard(s) exhausted their "
+                    f"{self.max_attempts} attempts: {sorted(failed)}; "
+                    f"see {queue.root}/progress for worker logs"
+                )
+            if own <= done:
+                break
+            if (
+                self.timeout is not None
+                and time.monotonic() - started > self.timeout
+            ):
+                outstanding = sorted(own - done)
+                raise RuntimeError(
+                    f"distributed campaign timed out after {self.timeout:.0f}s "
+                    f"with {len(outstanding)} shard(s) outstanding: "
+                    f"{outstanding[:5]}...  are any `repro worker "
+                    f"--queue {queue.root}` processes running?"
+                )
+            time.sleep(self.poll_interval)
+
+        # Authoritative merge: dedups across attempts, detects value
+        # conflicts and version skew loudly, and catches any result the
+        # incremental tailer missed.
+        merged, report = merge_caches(queue.result_paths(), check_versions=True)
+        for token, value in merged.items():
+            if token in token_map and token not in seen:
+                seen.add(token)
+                log, key, seed = token_map[token]
+                on_result(log, key, seed, value)
+        missing = [token for token in token_map if token not in seen]
+        if missing:
+            raise RuntimeError(
+                f"all shards report done but {len(missing)} cell(s) never "
+                f"surfaced in {queue.root}/results -- first: {missing[0]!r}"
+            )
+        queue.signal("DONE", {"generation": generation})
+        emit(
+            {
+                "event": "dist_done",
+                "shards": len(shards),
+                "cells": len(remaining),
+                "merge": report.describe(),
+            }
+        )
+
+
+class _ResultTailer:
+    """Incrementally read appended lines from every shard result file.
+
+    Remembers a byte offset per file and consumes only complete lines,
+    so a worker's in-flight append (no trailing newline yet) is left for
+    the next poll instead of being mis-parsed.
+    """
+
+    def __init__(self, queue: FsQueue) -> None:
+        self.queue = queue
+        self._offsets: dict[str, int] = {}
+
+    def poll(self) -> list[tuple[str, float]]:
+        out: list[tuple[str, float]] = []
+        for path in self.queue.result_paths():
+            offset = self._offsets.get(path, 0)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size <= offset:
+                continue
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read(size - offset)
+            except OSError:
+                continue
+            consumed = chunk.rfind(b"\n") + 1
+            if consumed == 0:
+                continue  # no complete line yet
+            self._offsets[path] = offset + consumed
+            for line in chunk[:consumed].decode("utf-8", "replace").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                parsed = parse_cache_record(line)
+                if parsed is None:
+                    continue  # torn line; the final merge re-validates
+                out.append(parsed)
+        return out
+
+
+def resolve_backend(
+    backend: "Broker | str",
+    workers: int | None = None,
+    queue_dir: str | None = None,
+    **fsqueue_kwargs,
+) -> Broker:
+    """Turn ``run_campaign``'s backend argument into a broker instance.
+
+    Accepts a ready broker, ``"local"`` (uses ``workers``) or
+    ``"fsqueue"`` (needs ``queue_dir``; extra kwargs reach
+    :class:`FsQueueBroker`).
+    """
+    if isinstance(backend, Broker):
+        return backend
+    if backend == "local":
+        return LocalBroker(workers=workers)
+    if backend == "fsqueue":
+        if not queue_dir:
+            raise ValueError("backend 'fsqueue' requires queue_dir (--queue)")
+        return FsQueueBroker(queue_dir, **fsqueue_kwargs)
+    raise ValueError(f"unknown campaign backend {backend!r} (local|fsqueue)")

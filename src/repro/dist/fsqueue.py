@@ -1,0 +1,463 @@
+"""A serverless work queue in a shared directory.
+
+N worker processes -- possibly on N different hosts -- cooperate on one
+campaign with nothing but a directory they can all reach (NFS, a bind
+mount, a laptop's /tmp).  There is no queue server and no network
+protocol; every primitive is a POSIX filesystem operation whose
+atomicity the design leans on:
+
+* **claim-by-rename** -- a shard is a JSON file in ``todo/``; claiming it
+  is ``rename(todo/X, claimed/X.<worker>)``.  ``rename(2)`` is atomic on
+  a single filesystem, so exactly one of any number of racing workers
+  wins; the losers see ENOENT and move to the next shard.
+* **mtime heartbeats** -- the claimed file *is* the lease.  The worker
+  touches it (``utime``) after every finished cell; a coordinator treats
+  a claimed shard whose mtime is older than ``lease_ttl`` as abandoned
+  and renames it back into ``todo/`` with a bumped attempt counter
+  (worker crash == automatic retry, capped at ``max_attempts``).
+* **append-only results** -- each attempt streams finished cells to its
+  own ``results/<shard>.t<n>.jsonl``; a crashed attempt's partial file
+  is still harvested (later attempts skip cells it already proved, and
+  the merge dedups by cell token).
+
+Directory layout::
+
+    queue/
+      queue.json            # created-once metadata: versions, lease ttl
+      todo/<shard>.t<n>.json        # enqueued, attempt n
+      claimed/<shard>.t<n>.<worker>.json   # leased to <worker>
+      done/<shard>.json             # completed
+      failed/<shard>.t<n>.json      # attempts exhausted
+      results/<shard>.t<n>.jsonl    # per-attempt cell results
+      progress/<worker>.jsonl       # per-worker progress streams
+      DONE / STOP                   # coordinator -> worker signals
+
+Races are resolved toward safety, not efficiency: a worker whose lease
+was re-queued under it keeps simulating until its next renewal fails
+(:class:`LeaseLost`), and the cells it already wrote merge cleanly
+because simulations are deterministic -- duplicated work, never
+corrupted results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "FsQueue",
+    "Lease",
+    "LeaseLost",
+    "QueueVersionError",
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_MAX_ATTEMPTS",
+    "sanitize_id",
+]
+
+DEFAULT_LEASE_TTL = 300.0
+DEFAULT_MAX_ATTEMPTS = 3
+
+_SAFE = re.compile(r"[^A-Za-z0-9_-]+")
+
+
+def sanitize_id(name: str) -> str:
+    """Collapse a free-form name to the queue's filename-safe alphabet."""
+    cleaned = _SAFE.sub("-", name).strip("-")
+    if not cleaned:
+        raise ValueError(f"identifier {name!r} has no filename-safe characters")
+    return cleaned
+
+
+class LeaseLost(RuntimeError):
+    """The worker's claimed file vanished: the lease expired and the
+    coordinator re-queued (or failed) the shard.  The worker must stop
+    working on it; everything it already wrote remains harvestable."""
+
+
+class QueueVersionError(RuntimeError):
+    """Queue metadata was written by incompatible code (cache/engine
+    version mismatch); serving it would poison the merged cache."""
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A worker's hold on one shard attempt."""
+
+    shard_id: str
+    attempt: int
+    worker_id: str
+    path: str  # the claimed file; its mtime is the heartbeat
+    spec: dict
+
+
+class FsQueue:
+    """Handle on one queue directory (see module docstring for layout)."""
+
+    SUBDIRS = ("todo", "claimed", "done", "failed", "results", "progress")
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+
+    # -- paths ----------------------------------------------------------------
+    @property
+    def meta_path(self) -> str:
+        return os.path.join(self.root, "queue.json")
+
+    def _dir(self, kind: str) -> str:
+        return os.path.join(self.root, kind)
+
+    def result_path(self, shard_id: str, attempt: int) -> str:
+        return os.path.join(self._dir("results"), f"{shard_id}.t{attempt}.jsonl")
+
+    def result_paths(self, shard_id: str | None = None) -> list[str]:
+        """Every per-attempt result file (optionally for one shard)."""
+        directory = self._dir("results")
+        if not os.path.isdir(directory):
+            return []
+        names = sorted(
+            name
+            for name in os.listdir(directory)
+            if name.endswith(".jsonl")
+            and (shard_id is None or name.startswith(f"{shard_id}.t"))
+        )
+        return [os.path.join(directory, name) for name in names]
+
+    def progress_path(self, worker_id: str) -> str:
+        return os.path.join(self._dir("progress"), f"{worker_id}.jsonl")
+
+    # -- lifecycle ------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str,
+        meta: dict | None = None,
+        lease_ttl: float | None = None,
+        exist_ok: bool = True,
+    ) -> "FsQueue":
+        """Initialise (or reopen) a queue directory.
+
+        ``meta`` is stored in ``queue.json`` together with the creating
+        code's cache/engine versions; workers refuse to serve a queue
+        whose versions differ from their own.
+
+        An explicit ``lease_ttl`` is **authoritative**: reopening an
+        existing queue with a different value rewrites the metadata, so
+        workers (which re-read it per claim) heartbeat against the same
+        clock the coordinator reaps with.  ``None`` keeps whatever the
+        queue already records (:data:`DEFAULT_LEASE_TTL` for new queues).
+        """
+        from ..core.campaign import CACHE_VERSION
+        from ..sim.engine import ENGINE_VERSION
+
+        queue = cls(root)
+        os.makedirs(queue.root, exist_ok=exist_ok)
+        for sub in cls.SUBDIRS:
+            os.makedirs(queue._dir(sub), exist_ok=True)
+        if not os.path.exists(queue.meta_path):
+            payload = {
+                "format": "repro-fsqueue-v1",
+                "cache_version": CACHE_VERSION,
+                "engine_version": ENGINE_VERSION,
+                "lease_ttl": float(
+                    DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl
+                ),
+                "generation": 0,
+                **(meta or {}),
+            }
+            _atomic_write_json(queue.meta_path, payload)
+        elif lease_ttl is not None:
+            existing = queue.read_meta()
+            if float(existing.get("lease_ttl", DEFAULT_LEASE_TTL)) != float(lease_ttl):
+                existing["lease_ttl"] = float(lease_ttl)
+                _atomic_write_json(queue.meta_path, existing)
+        return queue
+
+    def read_meta(self) -> dict:
+        with open(self.meta_path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def check_versions(self) -> dict:
+        """Raise :class:`QueueVersionError` unless this code matches the
+        queue's recorded cache/engine versions.  Returns the metadata."""
+        from ..core.campaign import CACHE_VERSION
+        from ..sim.engine import ENGINE_VERSION
+
+        meta = self.read_meta()
+        mine = {"cache_version": CACHE_VERSION, "engine_version": ENGINE_VERSION}
+        theirs = {k: meta.get(k) for k in mine}
+        if theirs != mine:
+            raise QueueVersionError(
+                f"queue {self.root} was written by incompatible code: "
+                f"queue has {theirs}, this process has {mine}"
+            )
+        return meta
+
+    def next_generation(self) -> int:
+        """Bump and return the enqueue generation (coordinator restarts
+        get fresh shard-id prefixes so stale files never collide)."""
+        meta = self.read_meta()
+        generation = int(meta.get("generation", 0)) + 1
+        meta["generation"] = generation
+        _atomic_write_json(self.meta_path, meta)
+        return generation
+
+    # -- enqueue / claim ------------------------------------------------------
+    def enqueue(self, spec: dict, attempt: int = 0) -> str:
+        """Drop a shard spec into ``todo/``; returns the file path."""
+        shard_id = sanitize_id(str(spec["shard_id"]))
+        path = os.path.join(self._dir("todo"), f"{shard_id}.t{attempt}.json")
+        _atomic_write_json(path, spec)
+        return path
+
+    def claim(self, worker_id: str) -> Lease | None:
+        """Atomically claim the first available shard, or ``None``.
+
+        Lowest attempt first, then lexicographic shard id -- retries of
+        crashed shards queue behind fresh work of the same attempt rank
+        but ahead of nothing else, keeping progress monotonic.
+        """
+        worker_id = sanitize_id(worker_id)
+        todo = self._dir("todo")
+        try:
+            names = os.listdir(todo)
+        except FileNotFoundError:
+            return None
+        for name in sorted(names, key=_todo_sort_key):
+            shard_id, attempt = _parse_todo_name(name)
+            if shard_id is None:
+                continue
+            src = os.path.join(todo, name)
+            dst = os.path.join(
+                self._dir("claimed"), f"{shard_id}.t{attempt}.{worker_id}.json"
+            )
+            try:
+                os.rename(src, dst)
+            except OSError:
+                continue  # another worker won the race; try the next shard
+            try:
+                # fresh heartbeat: the lease clock starts now.  rename(2)
+                # preserves the enqueue-time mtime, so a shard that aged
+                # past lease_ttl while *queued* looks expired for an
+                # instant -- a racing coordinator may snatch it back
+                # before the utime lands.  Treat that as a lost claim.
+                os.utime(dst)
+                with open(dst, "r", encoding="utf-8") as fh:
+                    spec = json.load(fh)
+            except FileNotFoundError:
+                continue
+            return Lease(
+                shard_id=shard_id,
+                attempt=attempt,
+                worker_id=worker_id,
+                path=dst,
+                spec=spec,
+            )
+        return None
+
+    # -- worker-side lease operations ----------------------------------------
+    def renew(self, lease: Lease) -> None:
+        """Refresh the heartbeat; raises :class:`LeaseLost` if the
+        coordinator re-queued the shard from under this worker."""
+        try:
+            os.utime(lease.path)
+        except FileNotFoundError:
+            raise LeaseLost(
+                f"lease on {lease.shard_id} (attempt {lease.attempt}) expired "
+                f"and was re-queued; abandoning the shard"
+            ) from None
+
+    def complete(self, lease: Lease) -> None:
+        """Move the claimed shard to ``done/`` (idempotent per shard)."""
+        dst = os.path.join(self._dir("done"), f"{lease.shard_id}.json")
+        try:
+            os.replace(lease.path, dst)
+        except FileNotFoundError:
+            raise LeaseLost(
+                f"lease on {lease.shard_id} (attempt {lease.attempt}) vanished "
+                f"before completion; results stay harvestable"
+            ) from None
+
+    # -- coordinator-side maintenance ----------------------------------------
+    def requeue_expired(
+        self,
+        lease_ttl: float | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        now: float | None = None,
+    ) -> list[tuple[str, int, str]]:
+        """Re-queue (or fail) claimed shards whose heartbeat went stale.
+
+        Returns ``(shard_id, next_attempt, disposition)`` tuples where
+        disposition is ``"requeued"`` or ``"failed"``.
+        """
+        if lease_ttl is None:
+            lease_ttl = float(self.read_meta().get("lease_ttl", DEFAULT_LEASE_TTL))
+        if now is None:
+            now = time.time()
+        claimed = self._dir("claimed")
+        moved: list[tuple[str, int, str]] = []
+        try:
+            names = os.listdir(claimed)
+        except FileNotFoundError:
+            return moved
+        for name in sorted(names):
+            parsed = _parse_claimed_name(name)
+            if parsed is None:
+                continue
+            shard_id, attempt, _worker = parsed
+            path = os.path.join(claimed, name)
+            try:
+                age = now - os.stat(path).st_mtime
+            except FileNotFoundError:
+                continue  # completed between listdir and stat
+            if age <= lease_ttl:
+                continue
+            next_attempt = attempt + 1
+            if next_attempt >= max_attempts:
+                dst = os.path.join(
+                    self._dir("failed"), f"{shard_id}.t{attempt}.json"
+                )
+                disposition = "failed"
+            else:
+                dst = os.path.join(
+                    self._dir("todo"), f"{shard_id}.t{next_attempt}.json"
+                )
+                disposition = "requeued"
+            try:
+                os.replace(path, dst)
+            except FileNotFoundError:
+                continue  # the worker completed it in the window; fine
+            moved.append((shard_id, next_attempt, disposition))
+        return moved
+
+    def clear_todo(self) -> int:
+        """Drop every queued (unclaimed) shard -- coordinator restarts
+        re-plan from the authoritative cache + results instead."""
+        todo = self._dir("todo")
+        removed = 0
+        for name in os.listdir(todo):
+            try:
+                os.unlink(os.path.join(todo, name))
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    # -- signals --------------------------------------------------------------
+    def signal(self, name: str, payload: dict | None = None) -> None:
+        """Create a DONE/STOP marker file (atomically, with payload).
+
+        DONE markers carry the enqueue ``generation`` they conclude, so
+        a worker can tell a *stale* DONE (left on a reused queue
+        directory by a finished campaign) from one that ends the
+        campaign currently in the metadata -- see :meth:`read_signal`.
+        """
+        _atomic_write_json(
+            os.path.join(self.root, name),
+            {"time": round(time.time(), 3), **(payload or {})},
+        )
+
+    def has_signal(self, name: str) -> bool:
+        return os.path.exists(os.path.join(self.root, name))
+
+    def signal_mtime(self, name: str) -> float | None:
+        """The marker file's mtime -- stamped by the *shared* filesystem,
+        so unlike wall-clock payloads it is comparable across hosts."""
+        try:
+            return os.stat(os.path.join(self.root, name)).st_mtime
+        except OSError:
+            return None
+
+    def read_signal(self, name: str) -> dict | None:
+        try:
+            with open(os.path.join(self.root, name), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return {}  # marker exists but is unreadable/legacy
+
+    def clear_signal(self, name: str) -> None:
+        try:
+            os.unlink(os.path.join(self.root, name))
+        except FileNotFoundError:
+            pass
+
+    # -- introspection --------------------------------------------------------
+    def todo_ids(self) -> set[str]:
+        return {
+            shard_id
+            for name in _safe_listdir(self._dir("todo"))
+            if (shard_id := _parse_todo_name(name)[0]) is not None
+        }
+
+    def claimed_ids(self) -> set[str]:
+        return {
+            parsed[0]
+            for name in _safe_listdir(self._dir("claimed"))
+            if (parsed := _parse_claimed_name(name)) is not None
+        }
+
+    def done_ids(self) -> set[str]:
+        return {
+            name[: -len(".json")]
+            for name in _safe_listdir(self._dir("done"))
+            if name.endswith(".json")
+        }
+
+    def failed_ids(self) -> set[str]:
+        return {
+            shard_id
+            for name in _safe_listdir(self._dir("failed"))
+            if (shard_id := _parse_todo_name(name)[0]) is not None
+        }
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _safe_listdir(path: str) -> list[str]:
+    try:
+        return os.listdir(path)
+    except FileNotFoundError:
+        return []
+
+
+def _atomic_write_json(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def _parse_todo_name(name: str) -> tuple[str | None, int]:
+    """``<shard>.t<n>.json`` -> (shard_id, attempt); (None, 0) if foreign."""
+    if not name.endswith(".json"):
+        return None, 0
+    stem = name[: -len(".json")]
+    shard_id, sep, attempt = stem.rpartition(".t")
+    if not sep or not attempt.isdigit():
+        return None, 0
+    return shard_id, int(attempt)
+
+
+def _todo_sort_key(name: str) -> tuple[int, str]:
+    shard_id, attempt = _parse_todo_name(name)
+    return (attempt, shard_id or name)
+
+
+def _parse_claimed_name(name: str) -> tuple[str, int, str] | None:
+    """``<shard>.t<n>.<worker>.json`` -> (shard_id, attempt, worker_id)."""
+    if not name.endswith(".json"):
+        return None
+    stem = name[: -len(".json")]
+    rest, sep, worker = stem.rpartition(".")
+    if not sep:
+        return None
+    shard_id, sep, attempt = rest.rpartition(".t")
+    if not sep or not attempt.isdigit():
+        return None
+    return shard_id, int(attempt), worker

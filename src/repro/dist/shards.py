@@ -1,0 +1,206 @@
+"""Shard planning: partition the campaign cell matrix into balanced units.
+
+A *shard* is the unit of distributed dispatch: a named batch of campaign
+cells ``(log, triple_key, seed)`` that one worker claims, simulates and
+reports as a whole.  Shards should be
+
+* **coarse enough** that queue overhead (claim, lease renewal, result
+  files) is amortised over many simulations, and
+* **balanced enough** that the campaign's wall time is not dominated by
+  one unlucky worker.
+
+Balance needs per-cell cost estimates.  Simulation time scales with the
+job count and differs by scheduler variant and by whether a correction
+mechanism is active (EXPIRE storms); those ratios are exactly what
+``BENCH_engine.json`` measures on every CI run, so the planner seeds its
+cost model from the benchmark report when one is available and falls
+back to calibrated constants otherwise.  Cells are then distributed with
+the classic LPT (longest processing time first) greedy heuristic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.campaign import CampaignConfig
+
+__all__ = [
+    "Cell",
+    "Shard",
+    "CellCostModel",
+    "load_bench_cost_model",
+    "plan_shards",
+    "DEFAULT_CELLS_PER_SHARD",
+]
+
+#: A campaign cell: (log, triple_key, seed).
+Cell = tuple[str, str, int]
+
+#: Default shard granularity when the caller does not fix a shard count.
+DEFAULT_CELLS_PER_SHARD = 16
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A named, costed batch of campaign cells."""
+
+    shard_id: str
+    cells: tuple[Cell, ...]
+    est_cost: float
+
+    def spec(self, config: "CampaignConfig") -> dict:
+        """The JSON document enqueued for workers.
+
+        Carries everything a worker needs to recompute cache tokens and
+        run cells -- plus the cache/engine versions of the coordinator's
+        code, which workers refuse to serve if they don't match.
+        """
+        from ..core.campaign import CACHE_VERSION
+        from ..sim.engine import ENGINE_VERSION
+
+        return {
+            "shard_id": self.shard_id,
+            "cells": [list(cell) for cell in self.cells],
+            "est_cost": round(self.est_cost, 4),
+            "n_jobs": config.n_jobs,
+            "min_prediction": config.min_prediction,
+            "tau": config.tau,
+            "cache_version": CACHE_VERSION,
+            "engine_version": ENGINE_VERSION,
+        }
+
+
+@dataclass(frozen=True)
+class CellCostModel:
+    """Relative per-job simulation cost by scheduler and correction load.
+
+    Units are arbitrary (only ratios matter for balance): ``weight(cell)
+    = scheduler_weight * n_jobs * correction_factor``.
+    """
+
+    #: per-job weight by scheduler name (fallback used for unknown ones).
+    scheduler_weights: dict[str, float] = field(
+        default_factory=lambda: {"easy": 1.0, "easy-sjbf": 1.0, "conservative": 1.6}
+    )
+    #: multiplier when the triple runs a correction mechanism.
+    correction_factor: float = 3.0
+    #: where the weights came from ("defaults" or the bench file path).
+    source: str = "defaults"
+
+    def cell_cost(self, triple_key: str, n_jobs: int) -> float:
+        """Estimated cost of one cell of ``n_jobs`` jobs."""
+        parts = triple_key.split("|")
+        if len(parts) != 3:
+            raise ValueError(f"malformed triple key {triple_key!r}")
+        _, corrector, scheduler = parts
+        base = self.scheduler_weights.get(
+            scheduler, max(self.scheduler_weights.values())
+        )
+        factor = self.correction_factor if corrector != "none" else 1.0
+        return base * n_jobs * factor
+
+
+def load_bench_cost_model(path: str | None = None) -> CellCostModel:
+    """Cost model seeded from a ``BENCH_engine.json`` report.
+
+    Per-scheduler weights are the benchmark's measured per-job seconds of
+    the profile path; the correction factor is the per-job ratio of the
+    correction-heavy scenario to its correction-free twin.  Any missing
+    file, unreadable JSON or absent scenario falls back to the calibrated
+    defaults -- planning must never fail because a benchmark artifact is
+    stale.
+    """
+    default = CellCostModel()
+    if path is None:
+        path = os.path.join(os.getcwd(), "BENCH_engine.json")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+        per_job: dict[str, float] = {}
+        for scenario in report.get("scenarios", []):
+            n_jobs = scenario.get("trace", {}).get("n_jobs")
+            seconds = scenario.get("profile_seconds")
+            if not n_jobs or not seconds or seconds <= 0:
+                continue
+            per_job[scenario.get("scenario", "")] = float(seconds) / float(n_jobs)
+        weights = dict(default.scheduler_weights)
+        if "easy/wide" in per_job:
+            weights["easy"] = per_job["easy/wide"]
+        if "easy-sjbf/wide" in per_job:
+            weights["easy-sjbf"] = per_job["easy-sjbf/wide"]
+        if "conservative/narrow" in per_job:
+            weights["conservative"] = per_job["conservative/narrow"]
+        factor = default.correction_factor
+        if "easy-sjbf/corrections" in per_job and "easy-sjbf/wide" in per_job:
+            factor = max(1.0, per_job["easy-sjbf/corrections"] / per_job["easy-sjbf/wide"])
+        return CellCostModel(
+            scheduler_weights=weights, correction_factor=factor, source=path
+        )
+    except (OSError, ValueError, TypeError):
+        return default
+
+
+def plan_shards(
+    cells: Iterable[Cell],
+    n_jobs: int,
+    n_shards: int | None = None,
+    cost_model: CellCostModel | None = None,
+    bench_path: str | None = None,
+    prefix: str = "shard",
+    cells_per_shard: int = DEFAULT_CELLS_PER_SHARD,
+) -> list[Shard]:
+    """Partition ``cells`` into cost-balanced shards.
+
+    ``n_shards`` fixes the shard count; by default it is derived from
+    ``cells_per_shard``.  Cells are sorted by descending estimated cost
+    and assigned greedily to the least-loaded shard (LPT), which is
+    within 4/3 of the optimal makespan.  Deterministic: the same inputs
+    always produce the same shards, and cells inside a shard are emitted
+    in campaign order so workers warm per-``(log, seed)`` trace caches.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    if cost_model is None:
+        cost_model = load_bench_cost_model(bench_path)
+    if n_shards is None:
+        n_shards = max(1, (len(cells) + cells_per_shard - 1) // cells_per_shard)
+    n_shards = min(n_shards, len(cells))
+
+    order = {cell: idx for idx, cell in enumerate(cells)}
+    costed = sorted(
+        ((cost_model.cell_cost(key, n_jobs), order[(log, key, seed)], (log, key, seed))
+         for log, key, seed in cells),
+        key=lambda item: (-item[0], item[1]),
+    )
+    # (load, shard_index) min-heap; ties resolve to the lowest index so
+    # the plan is stable across runs and platforms.
+    heap: list[tuple[float, int]] = [(0.0, idx) for idx in range(n_shards)]
+    heapq.heapify(heap)
+    buckets: list[list[tuple[int, Cell]]] = [[] for _ in range(n_shards)]
+    loads = [0.0] * n_shards
+    for cost, position, cell in costed:
+        load, idx = heapq.heappop(heap)
+        buckets[idx].append((position, cell))
+        loads[idx] = load + cost
+        heapq.heappush(heap, (loads[idx], idx))
+
+    width = max(4, len(str(n_shards - 1)))
+    shards = []
+    for idx, bucket in enumerate(buckets):
+        if not bucket:
+            continue
+        bucket.sort()
+        shards.append(
+            Shard(
+                shard_id=f"{prefix}-{idx:0{width}d}",
+                cells=tuple(cell for _, cell in bucket),
+                est_cost=loads[idx],
+            )
+        )
+    return shards

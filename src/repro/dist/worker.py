@@ -1,0 +1,301 @@
+"""The distributed worker loop behind ``repro worker --queue DIR``.
+
+A worker is a dumb, stateless claimer: point any number of them (on any
+number of hosts) at a queue directory and they cooperatively drain it.
+
+Per shard, a worker
+
+1. **claims** it by atomic rename (:meth:`repro.dist.fsqueue.FsQueue.claim`);
+2. **skips** cells already proven by earlier attempts (it re-reads every
+   result file of the shard, so a crashed predecessor's partial work is
+   kept, not redone);
+3. **streams** the remaining cells through the shared cell runner
+   (:func:`repro.core.run.run_cell`), appending each result to its own
+   per-attempt JSONL cache the moment it finishes;
+4. **renews** its lease after every cell -- if the renewal discovers the
+   lease was re-queued (this worker was presumed dead), it abandons the
+   shard immediately; everything already written remains harvestable;
+5. **completes** the shard by renaming the lease into ``done/``.
+
+Workers exit when the coordinator posts a ``DONE``/``STOP`` marker, when
+``max_shards`` is reached, or after ``max_idle`` seconds without
+claimable work.  Every lifecycle step is appended to the worker's own
+progress stream (``progress/<worker>.jsonl``) for
+:func:`repro.core.reporting.format_dist_progress`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.campaign import ProgressLog, iter_cache_records
+from .fsqueue import DEFAULT_LEASE_TTL, FsQueue, Lease, LeaseLost, sanitize_id
+
+__all__ = ["WorkerStats", "run_worker", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    """``<host>-<pid>``: unique enough for a queue directory."""
+    return sanitize_id(f"{socket.gethostname()}-{os.getpid()}")
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did before exiting."""
+
+    worker_id: str = ""
+    shards: int = 0
+    cells: int = 0
+    cached_cells: int = 0
+    abandoned: int = 0
+    reason: str = ""
+    #: shard_ids completed, in order.
+    completed: list[str] = field(default_factory=list)
+
+
+class _Heartbeat(threading.Thread):
+    """Renews one lease in the background while cells simulate.
+
+    Per-cell renewals alone would let any *single* cell longer than
+    ``lease_ttl`` look like a worker death (the coordinator would steal
+    the shard from under a perfectly healthy simulation); the heartbeat
+    thread keeps the claimed file's mtime fresh for as long as the cell
+    takes.  A renewal that discovers the lease was re-queued anyway sets
+    :attr:`lost`, which the cell loop converts into an orderly abandon.
+    """
+
+    def __init__(self, queue: FsQueue, lease: Lease, interval: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{lease.shard_id}")
+        self.queue = queue
+        self.lease = lease
+        self.interval = interval
+        self.lost = False
+        # NB: not named _stop -- that would shadow threading.Thread's
+        # internal _stop() method and break join()
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            try:
+                self.queue.renew(self.lease)
+            except LeaseLost:
+                self.lost = True
+                return
+            except OSError:
+                pass  # transient fs hiccup; retry next beat
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=10.0)
+
+
+def run_worker(
+    queue_dir: str,
+    worker_id: str | None = None,
+    poll_interval: float = 0.5,
+    max_idle: float | None = None,
+    max_shards: int | None = None,
+    echo: bool = False,
+) -> WorkerStats:
+    """Claim-and-simulate until the queue is finished (see module doc).
+
+    ``max_idle=None`` waits for a DONE/STOP marker forever; a float exits
+    after that many seconds without claimable work (0 drains and exits).
+    """
+    from ..core.campaign import CampaignConfig
+    from ..core.run import run_cell
+
+    queue = FsQueue(queue_dir)
+    # Workers may be launched before the coordinator initialises the
+    # queue (common in scripted deployments): wait for it, bounded by
+    # the same idle budget that bounds an empty queue.
+    waited = 0.0
+    while not os.path.exists(queue.meta_path):
+        if max_idle is not None and waited >= max_idle:
+            raise FileNotFoundError(
+                f"no queue at {queue.root} after {waited:.0f}s "
+                f"(is the coordinator running?)"
+            )
+        time.sleep(poll_interval)
+        waited += poll_interval
+    meta = queue.check_versions()  # refuse version-skewed queues up front
+    worker_id = sanitize_id(worker_id or default_worker_id())
+    stats = WorkerStats(worker_id=worker_id)
+    progress_path = queue.progress_path(worker_id)
+    progress = ProgressLog(progress_path, echo=echo, worker=worker_id, append=True)
+    progress.emit({"event": "worker_start", "queue": queue.root,
+                   "lease_ttl": meta.get("lease_ttl")})
+    # the progress file was just written on the *queue's* filesystem, so
+    # its mtime is a start-of-service stamp on the same clock that
+    # stamps DONE markers -- immune to cross-host wall-clock skew
+    start_stamp = os.stat(progress_path).st_mtime
+    idle_since: float | None = None
+    try:
+        while True:
+            if queue.has_signal("STOP"):
+                stats.reason = "stop"
+                break
+            lease = queue.claim(worker_id)
+            if lease is None:
+                done = queue.read_signal("DONE")
+                if done is not None:
+                    # Only honour a DONE that (a) was posted after this
+                    # worker started serving -- judged by filesystem
+                    # mtimes, both stamped by the shared queue fs, so
+                    # host clock skew cannot confuse it -- and (b)
+                    # concludes the newest planned generation.  A stale
+                    # marker on a reused queue directory predates the
+                    # worker: it must not make the fleet desert a
+                    # campaign the coordinator is about to (re)enqueue;
+                    # such workers keep waiting (bounded by max_idle).
+                    done_stamp = queue.signal_mtime("DONE")
+                    fresh = done_stamp is not None and done_stamp >= start_stamp - 1.0
+                    meta_generation = int(queue.read_meta().get("generation", 0))
+                    concluded = (
+                        int(done.get("generation", meta_generation))
+                        >= meta_generation
+                    )
+                    if fresh and concluded:
+                        stats.reason = "done"
+                        break
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                if max_idle is not None and now - idle_since >= max_idle:
+                    stats.reason = "idle"
+                    break
+                time.sleep(poll_interval)
+                continue
+            idle_since = None
+            # re-read per claim: a coordinator reopening the queue with a
+            # different --lease-ttl rewrites the metadata, and heartbeats
+            # must track the clock it actually reaps with
+            try:
+                lease_ttl = float(
+                    queue.read_meta().get("lease_ttl", DEFAULT_LEASE_TTL)
+                )
+            except (OSError, ValueError):
+                lease_ttl = float(meta.get("lease_ttl", DEFAULT_LEASE_TTL))
+            _run_shard(
+                queue, lease, run_cell, CampaignConfig, progress, stats,
+                heartbeat_interval=max(0.05, lease_ttl / 4.0),
+            )
+            if max_shards is not None and stats.shards >= max_shards:
+                stats.reason = "max-shards"
+                break
+    finally:
+        progress.emit(
+            {
+                "event": "worker_exit",
+                "reason": stats.reason or "error",
+                "shards": stats.shards,
+                "cells": stats.cells,
+                "cached": stats.cached_cells,
+                "abandoned": stats.abandoned,
+            }
+        )
+        progress.close()
+    return stats
+
+
+def _run_shard(
+    queue: FsQueue,
+    lease: Lease,
+    run_cell,
+    config_cls,
+    progress: ProgressLog,
+    stats: WorkerStats,
+    heartbeat_interval: float = DEFAULT_LEASE_TTL / 4.0,
+) -> None:
+    """Simulate one claimed shard; never raises on a lost lease."""
+    from ..core.campaign import ResultCache
+
+    spec = lease.spec
+    cells = [tuple(cell) for cell in spec["cells"]]
+    config = config_cls(
+        n_jobs=int(spec["n_jobs"]),
+        min_prediction=float(spec["min_prediction"]),
+        tau=float(spec["tau"]),
+    )
+    progress.emit(
+        {
+            "event": "claim",
+            "shard": lease.shard_id,
+            "attempt": lease.attempt,
+            "cells": len(cells),
+        }
+    )
+    # Earlier attempts may have proved some cells before dying: harvest
+    # every result file of this shard so retries only pay the remainder.
+    proven: set[str] = set()
+    for path in queue.result_paths(lease.shard_id):
+        records, _torn = iter_cache_records(path)
+        proven.update(token for _lineno, token, _value in records)
+
+    cache = ResultCache(queue.result_path(lease.shard_id, lease.attempt))
+    started = time.monotonic()
+    ran = 0
+    heartbeat = _Heartbeat(queue, lease, heartbeat_interval)
+    heartbeat.start()
+    try:
+        for log, triple_key, seed in cells:
+            if heartbeat.lost:
+                raise LeaseLost(f"lease on {lease.shard_id} re-queued mid-shard")
+            token = config.cache_token(log, triple_key, int(seed))
+            if token in proven or cache.get(token) is not None:
+                stats.cached_cells += 1
+                continue
+            value = run_cell(
+                log,
+                triple_key,
+                n_jobs=config.n_jobs,
+                seed=int(seed),
+                min_prediction=config.min_prediction,
+                tau=config.tau,
+            )
+            cache.put(token, value)
+            ran += 1
+            stats.cells += 1
+            queue.renew(lease)  # heartbeat; raises LeaseLost if re-queued
+            progress.emit(
+                {
+                    "event": "cell",
+                    "shard": lease.shard_id,
+                    "log": log,
+                    "triple": triple_key,
+                    "seed": int(seed),
+                    "avebsld": value,
+                }
+            )
+        heartbeat.stop()
+        queue.complete(lease)
+    except LeaseLost:
+        stats.abandoned += 1
+        progress.emit(
+            {
+                "event": "shard_abandoned",
+                "shard": lease.shard_id,
+                "attempt": lease.attempt,
+                "cells_run": ran,
+            }
+        )
+        return
+    finally:
+        heartbeat.stop()
+        cache.close()
+    stats.shards += 1
+    stats.completed.append(lease.shard_id)
+    progress.emit(
+        {
+            "event": "shard_done",
+            "shard": lease.shard_id,
+            "attempt": lease.attempt,
+            "cells_run": ran,
+            "cells_cached": len(cells) - ran,
+            "seconds": round(time.monotonic() - started, 3),
+        }
+    )

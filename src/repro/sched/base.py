@@ -10,6 +10,7 @@ and the machine's predicted-release profile -- never actual runtimes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 from ..sim.machine import Machine
 from ..sim.results import JobRecord
@@ -44,6 +45,18 @@ class Scheduler(ABC):
 
     def on_correction(self, record: JobRecord) -> None:
         """A running job's prediction was corrected.  Default: nothing."""
+
+    def on_corrections(self, records: Sequence[JobRecord]) -> None:
+        """All corrections of one event timestamp, as a single batch.
+
+        The engine collects every EXPIRE-triggered correction of a
+        timestamp and delivers them together, *before* the scheduling
+        pass.  The default fans out to :meth:`on_correction` per record;
+        incremental schedulers override it to pay one availability
+        re-sort/rebuild per storm instead of one per job.
+        """
+        for record in records:
+            self.on_correction(record)
 
     @abstractmethod
     def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:

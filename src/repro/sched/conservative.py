@@ -52,8 +52,15 @@ class ConservativeScheduler(Scheduler):
         #: set on the first delta; drivers that never feed deltas (unit
         #: tests poking select_jobs by hand) get a full resync per pass.
         self._delta_fed = False
+        #: reservation order memoised across passes; corrections never
+        #: reorder *waiting* jobs, so EXPIRE storms reuse the last sort.
+        self._order_cache: list[JobRecord] | None = None
 
     # -- engine delta feed --------------------------------------------------
+    def on_submit(self, record: JobRecord) -> None:
+        super().on_submit(record)
+        self._order_cache = None
+
     def on_start(self, record: JobRecord, now: float) -> None:
         self._delta_fed = True
         if self._base is not None:
@@ -71,6 +78,17 @@ class ConservativeScheduler(Scheduler):
                 record.job_id, record.start_time + record.predicted_runtime
             )
 
+    def on_corrections(self, records) -> None:
+        # a same-timestamp correction storm costs one profile rebuild
+        if self._base is None:
+            return
+        if len(records) == 1:
+            self.on_correction(records[0])
+            return
+        self._base.jobs_corrected(
+            [(r.job_id, r.start_time + r.predicted_runtime) for r in records]
+        )
+
     def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
         if not self._queue:
             return []
@@ -83,7 +101,9 @@ class ConservativeScheduler(Scheduler):
         profile = self._base.snapshot(now)
         started: list[JobRecord] = []
         started_ids: set[int] = set()
-        for record in order_queue(self._queue, self.reservation_order):
+        if self._order_cache is None:
+            self._order_cache = order_queue(self._queue, self.reservation_order)
+        for record in self._order_cache:
             start = profile.earliest_fit(
                 record.processors, record.predicted_runtime, not_before=now
             )
@@ -93,4 +113,5 @@ class ConservativeScheduler(Scheduler):
                 started_ids.add(record.job_id)
         if started_ids:
             self._queue = [r for r in self._queue if r.job_id not in started_ids]
+            self._order_cache = None
         return started

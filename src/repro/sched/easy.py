@@ -91,8 +91,16 @@ class EasyScheduler(Scheduler):
         #: set on the first delta; drivers that never feed deltas (unit
         #: tests poking select_jobs by hand) get a full resync per pass.
         self._delta_fed = False
+        #: backfill-candidate order memoised across passes; corrections
+        #: never reorder *waiting* jobs, so pure-correction timestamps
+        #: (EXPIRE storms) reuse the previous pass's sort.
+        self._order_cache: list[JobRecord] | None = None
 
     # -- engine delta feed --------------------------------------------------
+    def on_submit(self, record: JobRecord) -> None:
+        super().on_submit(record)
+        self._order_cache = None
+
     def on_start(self, record: JobRecord, now: float) -> None:
         self._delta_fed = True
         self._releases.add(
@@ -107,6 +115,15 @@ class EasyScheduler(Scheduler):
             record.job_id, record.start_time + record.predicted_runtime
         )
 
+    def on_corrections(self, records) -> None:
+        # a same-timestamp correction storm costs one table re-sort
+        if len(records) == 1:
+            self.on_correction(records[0])
+            return
+        self._releases.move_many(
+            [(r.job_id, r.start_time + r.predicted_runtime) for r in records]
+        )
+
     def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
         started: list[JobRecord] = []
         free = machine.free
@@ -114,6 +131,7 @@ class EasyScheduler(Scheduler):
         # Phase 1: start the queue head(s) while they fit (FCFS priority).
         while self._queue and self._queue[0].processors <= free:
             record = self._queue.pop(0)
+            self._order_cache = None
             free -= record.processors
             started.append(record)
         if not self._queue:
@@ -134,8 +152,12 @@ class EasyScheduler(Scheduler):
         )
 
         # Phase 3: backfill.  A candidate may start iff it fits now and
-        # does not delay the head's reservation.
-        candidates = order_queue(self._queue[1:], self.backfill_order)
+        # does not delay the head's reservation.  The sorted view is
+        # reused verbatim when no submit/start/backfill changed the
+        # waiting set since the previous pass.
+        if self._order_cache is None:
+            self._order_cache = order_queue(self._queue[1:], self.backfill_order)
+        candidates = self._order_cache
         backfilled_ids: set[int] = set()
         for record in candidates:
             if record.processors > free:
@@ -149,4 +171,5 @@ class EasyScheduler(Scheduler):
                 backfilled_ids.add(record.job_id)
         if backfilled_ids:
             self._queue = [r for r in self._queue if r.job_id not in backfilled_ids]
+            self._order_cache = None
         return started

@@ -84,6 +84,32 @@ class ReleaseTable:
         bisect.insort(self._entries, (new_end, job_id, processors))
         self._by_job[job_id] = (new_end, processors)
 
+    def move_many(self, moves: Sequence[tuple[int, float]] | dict[int, float]) -> None:
+        """Shift several jobs' release times with **one** re-sort.
+
+        ``moves`` maps ``job_id -> new_end`` (a dict, or ``(job_id,
+        new_end)`` pairs; later duplicates win).  Equivalent to calling
+        :meth:`move` per job, but a correction storm costs one filter
+        pass plus one sort of the (mostly ordered) entry list instead of
+        a per-job bisect + O(n) memmove.
+        """
+        targets = dict(moves)
+        if not targets:
+            return
+        if len(targets) == 1:
+            ((job_id, new_end),) = targets.items()
+            self.move(job_id, new_end)
+            return
+        missing = [job_id for job_id in targets if job_id not in self._by_job]
+        if missing:
+            raise KeyError(f"jobs not tracked: {missing}")
+        self._entries = [e for e in self._entries if e[1] not in targets]
+        for job_id, new_end in targets.items():
+            processors = self._by_job[job_id][1]
+            self._entries.append((new_end, job_id, processors))
+            self._by_job[job_id] = (new_end, processors)
+        self._entries.sort()
+
     def clear(self) -> None:
         self._entries.clear()
         self._by_job.clear()
@@ -211,6 +237,39 @@ class IncrementalProfile(AvailabilityProfile):
             )
         self._apply_delta(old_end, new_end, -processors)
         self._jobs[job_id] = (new_end, processors)
+
+    def jobs_corrected(
+        self, moves: Sequence[tuple[int, float]] | dict[int, float]
+    ) -> None:
+        """Apply a whole correction storm with **one** profile rebuild.
+
+        ``moves`` maps ``job_id -> new predicted end``.  Semantically a
+        sequence of :meth:`job_corrected` calls, but all claim extensions
+        are merged into a single sweep over the step function
+        (:meth:`AvailabilityProfile._apply_deltas`) instead of one
+        breakpoint-splice-and-coalesce per job.
+        """
+        targets = dict(moves)
+        deltas: list[tuple[float, float, int]] = []
+        updates: list[tuple[int, float, int]] = []
+        # validate everything first: a bad entry must not leave _jobs
+        # half-updated against an unchanged step function
+        for job_id, new_end in targets.items():
+            entry = self._jobs.get(job_id)
+            if entry is None:
+                raise KeyError(f"job {job_id} is not tracked")
+            old_end, processors = entry
+            if new_end == old_end:
+                continue
+            if new_end < old_end:
+                raise ValueError(
+                    f"correction moved job {job_id} backwards: {old_end} -> {new_end}"
+                )
+            deltas.append((old_end, new_end, -processors))
+            updates.append((job_id, new_end, processors))
+        self._apply_deltas(deltas)
+        for job_id, new_end, processors in updates:
+            self._jobs[job_id] = (new_end, processors)
 
     # -- synchronisation -----------------------------------------------------
     def in_sync_with(self, machine: "Machine") -> bool:

@@ -13,6 +13,11 @@ Event loop semantics (matching pyss and the paper's on-line setting):
 * a running job whose *predicted* end passes without completion triggers
   the correction mechanism, bumping its prediction version; stale expiry
   events are dropped;
+* corrections landing on the same timestamp (an EXPIRE *storm*, common
+  with aggressive predictors) are applied to the corrector per job but
+  reported to the scheduler as **one batch** per timestamp
+  (:meth:`repro.sched.base.Scheduler.on_corrections`), so incremental
+  availability structures re-sort/rebuild once instead of per job;
 * predictions are clamped to ``[min_prediction, requested_time]``; jobs
   reaching their requested time finish there (SWF semantics guarantee
   ``runtime <= requested_time``).
@@ -80,6 +85,7 @@ class Simulator:
             records[job.job_id] = JobRecord(job=job)
             events.push(Event(time=job.submit_time, kind=EventType.SUBMIT, job_id=job.job_id))
 
+        corrected: list[JobRecord] = []
         while events:
             now = events.peek_time()
             for event in events.drain_time(now):
@@ -89,7 +95,14 @@ class Simulator:
                 elif event.kind is EventType.FINISH:
                     self._handle_finish(records[event.job_id], machine, now)
                 else:  # EXPIRE
-                    self._handle_expire(event, records[event.job_id], machine, events, now)
+                    self._handle_expire(
+                        event, records[event.job_id], machine, events, now, corrected
+                    )
+            if corrected:
+                # one scheduler notification per timestamp: a correction
+                # storm costs one structure re-sort/rebuild, not one per job
+                self.scheduler.on_corrections(corrected)
+                corrected.clear()
             self._schedule_pass(machine, events, now)
 
         result = SimulationResult(
@@ -131,6 +144,7 @@ class Simulator:
         machine: Machine,
         events: EventQueue,
         now: float,
+        corrected: list[JobRecord],
     ) -> None:
         if not machine.is_running(record.job_id):
             return  # stale: the job already finished
@@ -152,7 +166,9 @@ class Simulator:
         record.version += 1
         record.predicted_runtime = new_prediction
         self.stats.n_corrections += 1
-        self.scheduler.on_correction(record)
+        # the scheduler hears about the whole timestamp's corrections at
+        # once (Scheduler.on_corrections), after the event drain
+        corrected.append(record)
         self._push_expiry(record, events)
 
     def _push_expiry(self, record: JobRecord, events: EventQueue) -> None:

@@ -152,6 +152,63 @@ class AvailabilityProfile:
             self._avail[idx] = new_value
         self._coalesce()
 
+    def _apply_deltas(self, deltas: list[tuple[float, int | float, int]]) -> None:
+        """Apply several ``[start, end) += delta`` updates in one sweep.
+
+        Equivalent to calling :meth:`_apply_delta` per triple, but the
+        step function is rebuilt once: the delta edges are merged with the
+        existing breakpoints in a single left-to-right pass (already
+        coalesced), so a batch of k updates over S segments costs
+        O(S + k log k) instead of k splice-and-coalesce passes.
+        """
+        if not deltas:
+            return
+        if len(deltas) == 1:
+            start, end, delta = deltas[0]
+            self._apply_delta(start, end, delta)
+            return
+        edges: dict[float, int] = {}
+        for start, end, delta in deltas:
+            if start < self._times[0]:
+                raise ValueError(
+                    f"time {start} precedes profile start {self._times[0]}"
+                )
+            if end <= start:
+                continue
+            edges[start] = edges.get(start, 0) + delta
+            if not math.isinf(end):
+                edges[end] = edges.get(end, 0) - delta
+        bounds = sorted(edges)
+        times, avail = self._times, self._avail
+        n, m = len(times), len(bounds)
+        new_times: list[float] = []
+        new_avail: list[int] = []
+        i = j = 0
+        acc = 0  # running sum of the delta edges crossed so far
+        base = avail[0]  # availability of the current original segment
+        while i < n or j < m:
+            if j >= m or (i < n and times[i] <= bounds[j]):
+                t = times[i]
+                base = avail[i]
+                if j < m and bounds[j] == t:
+                    acc += edges[t]
+                    j += 1
+                i += 1
+            else:
+                t = bounds[j]
+                acc += edges[t]
+                j += 1
+            value = base + acc
+            if not 0 <= value <= self.processors:
+                raise ValueError(
+                    f"availability {value} out of [0, {self.processors}] at t={t}"
+                )
+            if not new_times or value != new_avail[-1]:
+                new_times.append(t)
+                new_avail.append(value)
+        self._times = new_times
+        self._avail = new_avail
+
     def _coalesce(self) -> None:
         """Merge adjacent segments with equal availability."""
         times = [self._times[0]]

@@ -56,3 +56,66 @@ class TestAsciiScatter:
     def test_single_point_no_crash(self):
         chart = ascii_scatter({"s": [(5.0, 5.0)]})
         assert "*" in chart
+
+
+class TestDistProgress:
+    """Multi-worker progress aggregation for distributed campaigns."""
+
+    EVENTS = [
+        {"event": "enqueue", "generation": 1, "shards": 4, "cells": 40},
+        {"event": "worker_start", "worker": "w1", "elapsed": 0.0},
+        {"event": "claim", "worker": "w1", "shard": "g1-0000", "elapsed": 0.1},
+        {"event": "cell", "worker": "w1", "shard": "g1-0000", "elapsed": 1.0},
+        {"event": "cell", "worker": "w1", "shard": "g1-0000", "elapsed": 2.0},
+        {"event": "shard_done", "worker": "w1", "shard": "g1-0000", "elapsed": 2.1},
+        {"event": "claim", "worker": "w2", "shard": "g1-0001", "elapsed": 0.2},
+        {"event": "cell", "worker": "w2", "shard": "g1-0001", "elapsed": 1.5},
+        {"event": "shard_abandoned", "worker": "w2", "shard": "g1-0001", "elapsed": 3.0},
+        {"event": "worker_exit", "worker": "w2", "reason": "idle", "elapsed": 9.0},
+        {"event": "requeue", "shard": "g1-0001", "attempt": 1},
+        {"event": "dist_done", "shards": 4, "merge": "merged 4 cache file(s)"},
+    ]
+
+    def test_aggregate_worker_progress(self):
+        from repro.core.reporting import aggregate_worker_progress
+
+        workers = aggregate_worker_progress(
+            [e for e in self.EVENTS if "worker" in e]
+        )
+        assert workers["w1"] == {
+            "cells": 2, "shards_done": 1, "shards_abandoned": 0, "claims": 1,
+            "elapsed": 2.1, "status": "running", "reason": "",
+        }
+        assert workers["w2"]["status"] == "exited"
+        assert workers["w2"]["reason"] == "idle"
+        assert workers["w2"]["shards_abandoned"] == 1
+
+    def test_format_dist_progress(self):
+        from repro.core.reporting import format_dist_progress
+
+        text = format_dist_progress(self.EVENTS)
+        assert "4 shard(s), 40 cell(s) enqueued" in text
+        assert "w1: 2 cell(s), 1/1 shard(s) done" in text
+        assert "w2: 1 cell(s), 0/1 shard(s) done, 1 abandoned" in text
+        assert "re-queued: 1 (g1-0001)" in text
+        assert "finished: 4 shard(s); merged 4 cache file(s)" in text
+
+    def test_empty_stream(self):
+        from repro.core.reporting import format_dist_progress
+
+        assert "no enqueue event" in format_dist_progress([])
+
+    def test_load_progress_dir_tags_streams(self, tmp_path):
+        import json as jsonlib
+
+        from repro.core.reporting import load_progress_dir
+
+        (tmp_path / "w1.jsonl").write_text(
+            jsonlib.dumps({"event": "cell"}) + "\n" + '{"torn'
+        )
+        (tmp_path / "w2.jsonl").write_text(
+            jsonlib.dumps({"event": "cell", "worker": "override"}) + "\n"
+        )
+        (tmp_path / "notes.txt").write_text("ignored")
+        events = load_progress_dir(str(tmp_path))
+        assert [e["worker"] for e in events] == ["w1", "override"]

@@ -1,0 +1,185 @@
+"""The filesystem work queue: claims, leases, retries, signals."""
+
+import json
+import os
+
+import pytest
+
+from repro.dist import FsQueue, LeaseLost, QueueVersionError
+from repro.dist.fsqueue import sanitize_id
+
+
+def spec_for(shard_id, cells=2):
+    return {
+        "shard_id": shard_id,
+        "cells": [["KTH-SP2", "requested|none|easy", 100 + i] for i in range(cells)],
+        "n_jobs": 50,
+        "min_prediction": 60.0,
+        "tau": 10.0,
+    }
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return FsQueue.create(str(tmp_path / "q"), lease_ttl=60.0)
+
+
+class TestSanitize:
+    def test_passthrough(self):
+        assert sanitize_id("host-12_ok") == "host-12_ok"
+
+    def test_collapses_unsafe(self):
+        assert sanitize_id("my host.name/7") == "my-host-name-7"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_id("...")
+
+
+class TestCreateAndVersions:
+    def test_create_layout(self, queue):
+        for sub in FsQueue.SUBDIRS:
+            assert os.path.isdir(os.path.join(queue.root, sub))
+        meta = queue.check_versions()
+        assert meta["lease_ttl"] == 60.0
+
+    def test_reopen_without_ttl_preserves_meta(self, queue):
+        again = FsQueue.create(queue.root)
+        assert again.read_meta()["lease_ttl"] == 60.0
+
+    def test_reopen_with_explicit_ttl_is_authoritative(self, queue):
+        """A coordinator reopening with a different --lease-ttl must
+        rewrite the metadata, or workers heartbeat against one clock
+        while the coordinator reaps with another."""
+        again = FsQueue.create(queue.root, lease_ttl=7.0)
+        assert again.read_meta()["lease_ttl"] == 7.0
+        assert again.read_meta()["generation"] == queue.read_meta()["generation"]
+
+    def test_version_skew_refused(self, queue):
+        meta = queue.read_meta()
+        meta["engine_version"] = -1
+        with open(queue.meta_path, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        with pytest.raises(QueueVersionError):
+            queue.check_versions()
+
+
+class TestClaim:
+    def test_claim_moves_to_claimed(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        assert lease is not None
+        assert lease.shard_id == "s-a"
+        assert lease.attempt == 0
+        assert queue.todo_ids() == set()
+        assert queue.claimed_ids() == {"s-a"}
+        assert lease.spec["n_jobs"] == 50
+
+    def test_empty_queue_returns_none(self, queue):
+        assert queue.claim("w1") is None
+
+    def test_two_claimants_get_distinct_shards(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        queue.enqueue(spec_for("s-b"))
+        a = queue.claim("w1")
+        b = queue.claim("w2")
+        assert {a.shard_id, b.shard_id} == {"s-a", "s-b"}
+        assert queue.claim("w3") is None
+
+    def test_retries_ordered_with_fresh_work(self, queue):
+        queue.enqueue(spec_for("s-retry"), attempt=1)
+        queue.enqueue(spec_for("s-fresh"), attempt=0)
+        first = queue.claim("w1")
+        assert first.shard_id == "s-fresh"  # lowest attempt first
+
+    def test_claim_survives_coordinator_snatching_race(self, queue, monkeypatch):
+        """A shard that aged past lease_ttl while *queued* can be
+        requeued by the coordinator between the claim rename and the
+        heartbeat utime; the claimer must move on, not crash."""
+        import repro.dist.fsqueue as fsqueue_mod
+
+        queue.enqueue(spec_for("s-a"))
+        real_utime = os.utime
+
+        def snatching_utime(path, *args, **kwargs):
+            if "claimed" in str(path):
+                os.unlink(path)  # the coordinator re-queued it first
+                raise FileNotFoundError(path)
+            return real_utime(path, *args, **kwargs)
+
+        monkeypatch.setattr(fsqueue_mod.os, "utime", snatching_utime)
+        assert queue.claim("w1") is None  # lost the race; no crash
+
+
+class TestLeaseLifecycle:
+    def test_complete_moves_to_done(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        queue.complete(lease)
+        assert queue.done_ids() == {"s-a"}
+        assert queue.claimed_ids() == set()
+
+    def test_renew_touches_heartbeat(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        os.utime(lease.path, (0, 0))  # fake an ancient heartbeat
+        queue.renew(lease)
+        assert os.stat(lease.path).st_mtime > 0
+
+    def test_renew_after_requeue_raises_lease_lost(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        os.utime(lease.path, (0, 0))
+        moved = queue.requeue_expired(lease_ttl=60.0)
+        assert moved == [("s-a", 1, "requeued")]
+        with pytest.raises(LeaseLost):
+            queue.renew(lease)
+        with pytest.raises(LeaseLost):
+            queue.complete(lease)
+
+    def test_requeue_leaves_fresh_leases_alone(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        queue.claim("w1")
+        assert queue.requeue_expired(lease_ttl=60.0) == []
+
+    def test_attempts_exhausted_goes_to_failed(self, queue):
+        queue.enqueue(spec_for("s-a"), attempt=2)
+        lease = queue.claim("w1")
+        os.utime(lease.path, (0, 0))
+        moved = queue.requeue_expired(lease_ttl=60.0, max_attempts=3)
+        assert moved == [("s-a", 3, "failed")]
+        assert queue.failed_ids() == {"s-a"}
+        assert queue.todo_ids() == set()
+
+    def test_requeued_shard_claimable_with_bumped_attempt(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        os.utime(lease.path, (0, 0))
+        queue.requeue_expired(lease_ttl=60.0)
+        retry = queue.claim("w2")
+        assert retry.shard_id == "s-a"
+        assert retry.attempt == 1
+        assert retry.spec == lease.spec
+
+
+class TestSignalsAndMaintenance:
+    def test_signals_roundtrip(self, queue):
+        assert not queue.has_signal("DONE")
+        queue.signal("DONE")
+        assert queue.has_signal("DONE")
+        queue.clear_signal("DONE")
+        assert not queue.has_signal("DONE")
+
+    def test_clear_todo(self, queue):
+        queue.enqueue(spec_for("s-a"))
+        queue.enqueue(spec_for("s-b"))
+        assert queue.clear_todo() == 2
+        assert queue.todo_ids() == set()
+
+    def test_result_paths_filter_by_shard(self, queue):
+        for name in ("s-a.t0.jsonl", "s-a.t1.jsonl", "s-b.t0.jsonl"):
+            with open(os.path.join(queue.root, "results", name), "w") as fh:
+                fh.write("")
+        assert len(queue.result_paths()) == 3
+        assert len(queue.result_paths("s-a")) == 2
+        assert queue.result_path("s-a", 1).endswith("s-a.t1.jsonl")

@@ -1,0 +1,256 @@
+"""Batched correction storms: one re-sort / one profile rebuild per
+timestamp must be *exactly* equivalent to the per-job delta feed."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correct import IncrementalCorrector
+from repro.predict import RecentAveragePredictor
+from repro.sched import Scheduler, make_scheduler
+from repro.sched.profile_structure import IncrementalProfile, ReleaseTable
+from repro.sim import Simulator
+from repro.sim.profile import AvailabilityProfile
+from repro.workload import Job, Trace
+
+
+class TestMoveMany:
+    def build(self, n=6):
+        table = ReleaseTable()
+        for jid in range(1, n + 1):
+            table.add(jid, 10.0 * jid, jid)
+        return table
+
+    def test_equivalent_to_sequential_moves(self):
+        batched = self.build()
+        sequential = self.build()
+        moves = [(2, 500.0), (5, 15.0), (1, 75.0)]
+        batched.move_many(moves)
+        for jid, end in moves:
+            sequential.move(jid, end)
+        assert batched.releases(0.0) == sequential.releases(0.0)
+        assert batched._entries == sequential._entries
+
+    def test_single_move_delegates(self):
+        table = self.build()
+        table.move_many([(3, 7.0)])
+        assert table.releases(0.0)[0] == (7.0, 3)
+
+    def test_empty_is_noop(self):
+        table = self.build()
+        before = table.releases(0.0)
+        table.move_many([])
+        assert table.releases(0.0) == before
+
+    def test_dict_input_and_last_duplicate_wins(self):
+        table = self.build()
+        table.move_many([(2, 100.0), (2, 300.0)])
+        assert (300.0, 2) in table.releases(0.0)
+
+    def test_unknown_job_rejected(self):
+        table = self.build()
+        with pytest.raises(KeyError):
+            table.move_many([(99, 5.0), (1, 5.0)])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        moves=st.lists(
+            st.tuples(st.integers(1, 8), st.floats(0.0, 1e6)),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_property_matches_sequential(self, moves):
+        batched = self.build(8)
+        sequential = self.build(8)
+        batched.move_many(moves)
+        for jid, end in dict(moves).items():
+            sequential.move(jid, end)
+        assert batched._entries == sequential._entries
+
+
+class TestApplyDeltas:
+    def build_profile(self):
+        profile = AvailabilityProfile(64, now=0.0, free=20)
+        profile.add_release(30.0, 10)
+        profile.add_release(100.0, 14)
+        profile.add_release(250.0, 20)
+        return profile
+
+    def test_equivalent_to_sequential(self):
+        deltas = [(30.0, 90.0, -4), (50.0, 260.0, -6), (100.0, 120.0, -2)]
+        batched = self.build_profile()
+        sequential = self.build_profile()
+        batched._apply_deltas(deltas)
+        for start, end, delta in deltas:
+            sequential._apply_delta(start, end, delta)
+        assert batched.steps() == sequential.steps()
+
+    def test_overlapping_and_touching_intervals(self):
+        deltas = [(0.0, 30.0, -5), (30.0, 60.0, -5), (30.0, 45.0, -3)]
+        batched = self.build_profile()
+        sequential = self.build_profile()
+        batched._apply_deltas(deltas)
+        for start, end, delta in deltas:
+            sequential._apply_delta(start, end, delta)
+        assert batched.steps() == sequential.steps()
+
+    def test_out_of_range_rejected(self):
+        profile = self.build_profile()
+        with pytest.raises(ValueError):
+            profile._apply_deltas([(0.0, 10.0, -10), (0.0, 10.0, -15)])
+
+    def test_before_start_rejected(self):
+        profile = AvailabilityProfile(8, now=100.0)
+        with pytest.raises(ValueError):
+            profile._apply_deltas([(0.0, 10.0, -1), (110.0, 120.0, -1)])
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        deltas=st.lists(
+            st.tuples(
+                st.floats(0.0, 400.0),
+                st.floats(0.5, 200.0),
+                st.integers(1, 4),
+            ),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_property_matches_sequential(self, deltas):
+        """Random *negative* deltas (reservations), skipping any batch a
+        sequential application would reject."""
+        triples = [(start, start + length, -width) for start, length, width in deltas]
+        sequential = self.build_profile()
+        try:
+            for start, end, delta in triples:
+                sequential._apply_delta(start, end, delta)
+        except ValueError:
+            return  # infeasible batch: nothing to compare
+        batched = self.build_profile()
+        batched._apply_deltas(triples)
+        assert batched.steps() == sequential.steps()
+
+
+class TestJobsCorrected:
+    def build(self):
+        profile = IncrementalProfile(32, now=0.0)
+        profile.job_started(1, 0.0, 50.0, 8)
+        profile.job_started(2, 0.0, 50.0, 8)
+        profile.job_started(3, 0.0, 80.0, 4)
+        return profile
+
+    def test_equivalent_to_sequential(self):
+        batched = self.build()
+        sequential = self.build()
+        moves = [(1, 120.0), (2, 90.0)]
+        batched.jobs_corrected(moves)
+        for jid, end in moves:
+            sequential.job_corrected(jid, end)
+        assert batched.steps() == sequential.steps()
+
+    def test_backwards_move_rejected(self):
+        profile = self.build()
+        with pytest.raises(ValueError):
+            profile.jobs_corrected([(1, 120.0), (3, 10.0)])
+
+    def test_failed_batch_leaves_state_untouched(self):
+        """A rejected batch must not leave _jobs half-updated against an
+        unchanged step function (count-based sync checks can't catch it)."""
+        profile = self.build()
+        reference = self.build()
+        with pytest.raises(ValueError):
+            profile.jobs_corrected([(1, 120.0), (3, 10.0)])  # 3 goes backwards
+        with pytest.raises(KeyError):
+            profile.jobs_corrected([(2, 200.0), (99, 300.0)])  # 99 untracked
+        assert profile.steps() == reference.steps()
+        assert profile._jobs == reference._jobs
+        # and the state is still fully usable afterwards
+        profile.jobs_corrected([(1, 120.0), (2, 90.0)])
+        reference.jobs_corrected([(1, 120.0), (2, 90.0)])
+        assert profile.steps() == reference.steps()
+
+    def test_noop_move_skipped(self):
+        profile = self.build()
+        before = profile.steps()
+        profile.jobs_corrected([(1, 50.0)])
+        assert profile.steps() == before
+
+
+def storm_trace(processors=64, waves=4, wave_jobs=48, users_per_wave=8, seed=3):
+    """Warmed users + same-instant submission waves: AVE2 predictions
+    clamp to min_prediction, so whole waves expire in lockstep --
+    guaranteed same-timestamp EXPIRE storms."""
+    rng = np.random.default_rng(seed)
+    jobs, jid = [], 0
+    for user in range(waves * users_per_wave):
+        for k in range(2):
+            jid += 1
+            jobs.append(
+                Job(job_id=jid, submit_time=float(user + 70 * k), runtime=30.0,
+                    processors=1, requested_time=3600.0, user=user)
+            )
+    t = 2000.0
+    for wave in range(waves):
+        for _ in range(wave_jobs):
+            jid += 1
+            runtime = float(rng.uniform(1800.0, 5400.0))
+            jobs.append(
+                Job(job_id=jid, submit_time=t, runtime=runtime, processors=1,
+                    requested_time=2.0 * runtime,
+                    user=wave * users_per_wave + int(rng.integers(users_per_wave)))
+            )
+        t += 7200.0
+    return Trace(jobs, processors=processors, name="storm")
+
+
+def schedule_of(result):
+    return sorted((r.job_id, r.start_time, r.end_time, r.corrections) for r in result)
+
+
+class TestEngineStormBatching:
+    @pytest.mark.parametrize("scheduler", ["easy", "easy-sjbf", "conservative"])
+    def test_storms_occur_and_match_legacy(self, scheduler):
+        """The trace provokes real multi-correction timestamps AND the
+        batched incremental path still matches the per-pass-rescan seed
+        oracle job for job."""
+        trace = storm_trace()
+        sched = make_scheduler(scheduler)
+        storms = []
+        original = sched.on_corrections
+
+        def spy(records):
+            storms.append(len(records))
+            return original(records)
+
+        sched.on_corrections = spy
+        new = Simulator(
+            trace, sched, RecentAveragePredictor(2), IncrementalCorrector()
+        ).run()
+        assert max(storms) > 1, "trace failed to provoke a storm"
+        old = Simulator(
+            trace,
+            make_scheduler(f"legacy-{scheduler}"),
+            RecentAveragePredictor(2),
+            IncrementalCorrector(),
+        ).run()
+        assert schedule_of(new) == schedule_of(old)
+
+    @pytest.mark.parametrize("scheduler", ["easy-sjbf", "conservative"])
+    def test_batched_matches_perjob_fanout(self, scheduler):
+        """Forcing the base-class per-record fan-out must not change the
+        schedule either -- batching is pure mechanics."""
+        trace = storm_trace(waves=3)
+        batched = Simulator(
+            trace, make_scheduler(scheduler),
+            RecentAveragePredictor(2), IncrementalCorrector(),
+        ).run()
+        sched = make_scheduler(scheduler)
+        sched.on_corrections = (
+            lambda records, s=sched: Scheduler.on_corrections(s, records)
+        )
+        perjob = Simulator(
+            trace, sched, RecentAveragePredictor(2), IncrementalCorrector()
+        ).run()
+        assert schedule_of(batched) == schedule_of(perjob)

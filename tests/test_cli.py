@@ -33,6 +33,28 @@ class TestSynthCommand:
         assert len(trace) == 80
         assert "wrote" in capsys.readouterr().out
 
+    def test_omitted_seed_is_derived_and_printed(self, tmp_path, capsys):
+        """Every run must be reproducible from its own output: with
+        --seed omitted the derived seed is printed, and re-running with
+        that seed writes a byte-identical trace."""
+        from repro.workload import stable_seed
+
+        first = tmp_path / "a.swf"
+        assert main(["synth", str(first), "--log", "Curie", "--n-jobs", "60"]) == 0
+        out = capsys.readouterr().out
+        derived = stable_seed("Curie")
+        assert f"seed {derived}" in out
+        assert "derived from log name" in out
+
+        second = tmp_path / "b.swf"
+        assert main([
+            "synth", str(second), "--log", "Curie", "--n-jobs", "60",
+            "--seed", str(derived),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "from --seed" in out
+        assert first.read_bytes() == second.read_bytes()
+
 
 class TestSimCommand:
     def test_easy_run(self, capsys):
@@ -53,6 +75,68 @@ class TestSimCommand:
         ])
         assert code == 0
         assert "winner" in capsys.readouterr().out
+
+    def test_omitted_seed_is_derived_and_printed(self, capsys):
+        from repro.workload import stable_seed
+
+        assert main(["sim", "--log", "KTH-SP2", "--n-jobs", "120"]) == 0
+        out = capsys.readouterr().out
+        assert f"seed       : {stable_seed('KTH-SP2')} (derived from log name)" in out
+
+    def test_explicit_seed_reproduces(self, capsys):
+        args = ["sim", "--log", "KTH-SP2", "--n-jobs", "120", "--seed", "77"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "seed       : 77 (from --seed)" in first
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestDistCommands:
+    def test_worker_requires_queue(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker"])
+
+    def test_campaign_fsqueue_requires_queue(self):
+        with pytest.raises(SystemExit, match="--queue"):
+            main([
+                "campaign", "--backend", "fsqueue",
+                "--logs", "KTH-SP2", "--n-jobs", "50", "--replicas", "1",
+            ])
+
+    def test_worker_drains_prepared_queue(self, tmp_path, capsys):
+        """A worker pointed at a pre-enqueued queue completes the shard
+        and exits on the idle budget."""
+        from repro.core import CampaignConfig
+        from repro.dist import FsQueue, plan_shards
+
+        config = CampaignConfig(logs=("KTH-SP2",), n_jobs=60, replicas=1)
+        queue = FsQueue.create(str(tmp_path / "q"), lease_ttl=60.0)
+        cells = [("KTH-SP2", "requested|none|easy", config.seeds_for("KTH-SP2")[0])]
+        for shard in plan_shards(cells, n_jobs=60, n_shards=1):
+            queue.enqueue(shard.spec(config))
+        code = main([
+            "worker", "--queue", str(tmp_path / "q"),
+            "--worker-id", "t1", "--poll", "0.05", "--max-idle", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 shard(s), 1 simulated cell(s)" in out
+        assert queue.done_ids() == {"shard-0000"}
+
+    def test_merge_command(self, tmp_path, capsys):
+        import json as jsonlib
+
+        from repro.core.campaign import CACHE_VERSION
+        from repro.sim.engine import ENGINE_VERSION
+
+        token = f"v{CACHE_VERSION}|e{ENGINE_VERSION}|x"
+        src = tmp_path / "shard.jsonl"
+        src.write_text(jsonlib.dumps({"token": token, "value": 1.0}) + "\n")
+        out = tmp_path / "merged.jsonl"
+        assert main(["merge", "--out", str(out), str(src)]) == 0
+        assert "1 unique cells" in capsys.readouterr().out
+        assert out.exists()
 
 
 class TestTableCommands:
