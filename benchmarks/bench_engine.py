@@ -204,14 +204,14 @@ def run_dispatch_bench(quick: bool) -> dict:
         "ave3|incremental|easy-sjbf",
         "requested|none|conservative",
     ]
-    cells = [(log, key, seed) for key in triple_keys]
+    cells = [config.cell_spec(log, key, seed) for key in triple_keys]
     trace_digest(log, n_jobs, seed)  # warm the shared digest memo
 
-    def on_result(_log, _key, _seed, _value):
+    def on_result(_spec, _value):
         pass
 
     t0 = time.perf_counter()
-    LocalBroker(workers=1).dispatch(config, cells, on_result)
+    LocalBroker(workers=1).dispatch(cells, on_result)
     local_seconds = time.perf_counter() - t0
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-queue-") as tmp:
@@ -227,7 +227,7 @@ def run_dispatch_bench(quick: bool) -> dict:
         )
         worker.start()
         t0 = time.perf_counter()
-        broker.dispatch(config, cells, on_result)
+        broker.dispatch(cells, on_result)
         fsqueue_seconds = time.perf_counter() - t0
         worker.join(timeout=30)
 

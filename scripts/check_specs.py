@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""CI gate for the checked-in experiment spec files.
+
+1. runs ``repro spec validate`` on every ``experiments/*.toml``;
+2. runs ``repro spec expand --format keys`` on each (exercises the full
+   CLI path, including the TOML fallback parser on Python 3.10);
+3. asserts that ``experiments/paper.toml`` expands to **exactly** the
+   128 legacy triple keys of :func:`repro.core.triples.campaign_triples`
+   (in order), followed by the 2 clairvoyant reference keys.
+
+Exits non-zero on any failure.  Usage::
+
+    python scripts/check_specs.py [--experiments DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.triples import campaign_triples, reference_triples  # noqa: E402
+
+
+_SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiments", default="experiments")
+    args = parser.parse_args()
+
+    spec_files = sorted(glob.glob(os.path.join(args.experiments, "*.toml")))
+    if not spec_files:
+        print(f"FAIL: no spec files under {args.experiments}/", file=sys.stderr)
+        return 1
+
+    failures = 0
+    print(f"[check-specs] validating {len(spec_files)} spec file(s)")
+    proc = run_cli("spec", "validate", *spec_files)
+    print(proc.stdout, end="")
+    if proc.returncode != 0:
+        print(f"FAIL: repro spec validate exited {proc.returncode}\n{proc.stderr}",
+              file=sys.stderr)
+        failures += 1
+
+    for path in spec_files:
+        proc = run_cli("spec", "expand", path, "--format", "keys")
+        if proc.returncode != 0:
+            print(f"FAIL: repro spec expand {path} exited {proc.returncode}\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            failures += 1
+            continue
+        keys = [
+            line for line in proc.stdout.splitlines()
+            if line and not line.startswith(("#", "..."))
+        ]
+        print(f"[check-specs] {path}: {len(keys)} unique triple key(s)")
+        if os.path.basename(path) == "paper.toml":
+            want = [t.key for t in campaign_triples()]
+            refs = [t.key for t in reference_triples()]
+            if keys[: len(want)] != want:
+                mismatch = next(
+                    (i for i, (a, b) in enumerate(zip(keys, want)) if a != b),
+                    min(len(keys), len(want)),
+                )
+                print(
+                    f"FAIL: paper.toml does not expand to the exact 128 "
+                    f"campaign triple keys (first mismatch at index "
+                    f"{mismatch})", file=sys.stderr,
+                )
+                failures += 1
+            elif keys[len(want):] != refs:
+                print("FAIL: paper.toml reference keys wrong", file=sys.stderr)
+                failures += 1
+            else:
+                print(
+                    f"[check-specs] paper.toml == the {len(want)} campaign "
+                    f"triples + {len(refs)} references, exactly"
+                )
+
+    if failures:
+        print(f"[check-specs] {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("[check-specs] all spec files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

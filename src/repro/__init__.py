@@ -24,6 +24,12 @@ The paper's campaign and analyses::
     for row in campaign.table1_rows():
         print(row)
 
+Declarative experiment specs (any scenario grid, not just the paper's)::
+
+    from repro import expand_spec_file, run_cells
+    cells = expand_spec_file("experiments/paper.toml")
+    result = run_cells(cells, cache_path="campaign.jsonl")
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
@@ -40,9 +46,19 @@ from .core import (
     campaign_triples,
     leave_one_out,
     run_campaign,
+    run_cells,
+    run_spec,
     run_triple,
     run_triple_on_trace,
     selection_consensus,
+)
+from .spec import (
+    SPEC_VERSION,
+    CellSpec,
+    ComponentSpec,
+    WorkloadSpec,
+    expand_spec_file,
+    validate_spec_file,
 )
 from .correct import (
     Corrector,
@@ -106,9 +122,17 @@ __all__ = [
     "campaign_triples",
     "leave_one_out",
     "run_campaign",
+    "run_cells",
+    "run_spec",
     "run_triple",
     "run_triple_on_trace",
     "selection_consensus",
+    "SPEC_VERSION",
+    "CellSpec",
+    "ComponentSpec",
+    "WorkloadSpec",
+    "expand_spec_file",
+    "validate_spec_file",
     "Corrector",
     "IncrementalCorrector",
     "RecursiveDoublingCorrector",

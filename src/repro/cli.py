@@ -7,7 +7,10 @@ Subcommands::
     repro sim --log KTH-SP2 --predictor ml:sq-lin-large-area \\
               --corrector incremental --scheduler easy-sjbf
     repro campaign --n-jobs 1500 --replicas 2 --cache camp.json
+    repro campaign --spec experiments/paper.toml --cache camp.json
     repro campaign --backend fsqueue --queue /shared/q --cache camp.json
+    repro spec validate experiments/*.toml   # check experiment files
+    repro spec expand experiments/paper.toml # list the expanded cells
     repro worker --queue /shared/q   # drain shards from a queue dir
     repro merge --out merged.jsonl /shared/q/results
     repro table --which 1|6|7|8      # print a paper table reproduction
@@ -64,7 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--scheduler", default="easy")
     p_sim.add_argument("--tau", type=float, default=10.0)
 
-    p_camp = sub.add_parser("campaign", help="run the full 128-triple campaign")
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run the paper's 128-triple campaign, or any experiment spec file",
+    )
+    p_camp.add_argument(
+        "--spec",
+        default=None,
+        help="run the cells expanded from this experiment spec file "
+        "(TOML/JSON; overrides --logs/--n-jobs/--replicas)",
+    )
     p_camp.add_argument("--logs", nargs="*", default=list(LOG_NAMES))
     p_camp.add_argument("--n-jobs", type=int, default=2000)
     p_camp.add_argument("--replicas", type=int, default=3)
@@ -127,6 +139,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_merge.add_argument(
         "--no-version-check", action="store_true",
         help="accept cells from other CACHE_VERSION/ENGINE_VERSION codes (unsafe)",
+    )
+    p_merge.add_argument(
+        "--upgrade-legacy", action="store_true",
+        help="re-key pre-redesign (v4 tuple-keyed) rows to spec-digest "
+        "tokens where the same-engine lowering exists",
+    )
+
+    p_spec = sub.add_parser(
+        "spec", help="validate / expand declarative experiment spec files"
+    )
+    spec_sub = p_spec.add_subparsers(dest="spec_command", required=True)
+    p_validate = spec_sub.add_parser(
+        "validate", help="parse, expand and registry-check spec files"
+    )
+    p_validate.add_argument("files", nargs="+", help="experiment .toml/.json files")
+    p_expand = spec_sub.add_parser(
+        "expand", help="print the cells a spec file expands to"
+    )
+    p_expand.add_argument("file", help="experiment .toml/.json file")
+    p_expand.add_argument(
+        "--format", choices=["cells", "keys", "json"], default="cells",
+        help="cells: one line per cell; keys: unique legacy triple keys; "
+        "json: canonical cell objects",
+    )
+    p_expand.add_argument(
+        "--limit", type=int, default=None, help="print at most N entries"
     )
 
     p_table = sub.add_parser("table", help="print a paper table reproduction")
@@ -191,12 +229,7 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     return 0
 
 
-def _campaign_from_args(args: argparse.Namespace):
-    config = CampaignConfig(
-        logs=tuple(args.logs) if hasattr(args, "logs") else LOG_NAMES,
-        n_jobs=args.n_jobs,
-        replicas=args.replicas,
-    )
+def _backend_from_args(args: argparse.Namespace):
     backend = getattr(args, "backend", "local")
     if backend == "fsqueue":
         from .dist import FsQueueBroker
@@ -210,18 +243,58 @@ def _campaign_from_args(args: argparse.Namespace):
             max_attempts=args.max_attempts,
             timeout=args.dist_timeout,
         )
+    return backend
+
+
+def _campaign_from_args(args: argparse.Namespace):
+    config = CampaignConfig(
+        logs=tuple(args.logs) if hasattr(args, "logs") else LOG_NAMES,
+        n_jobs=args.n_jobs,
+        replicas=args.replicas,
+    )
     return run_campaign(
         config,
         cache_path=args.cache,
         workers=args.workers,
         progress=True,
         progress_path=getattr(args, "progress_log", None),
-        backend=backend,
+        backend=_backend_from_args(args),
     )
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
-    result = _campaign_from_args(args)
+def _cmd_spec_campaign(args: argparse.Namespace) -> int:
+    """``repro campaign --spec FILE``: the declarative campaign path."""
+    from .core import run_cells
+    from .spec import validate_spec_file
+
+    name, cells = validate_spec_file(args.spec)
+    print(f"spec {args.spec} ({name}): {len(cells)} cell(s)")
+    result = run_cells(
+        cells,
+        cache_path=args.cache,
+        workers=args.workers,
+        progress=True,
+        progress_path=getattr(args, "progress_log", None),
+        backend=_backend_from_args(args),
+    )
+    campaign = result.to_campaign_result()
+    if campaign is not None:
+        try:
+            _print_table6(campaign)
+            return 0
+        except KeyError:
+            pass  # legacy-shaped but not the paper's matrix
+    print(
+        format_table(
+            ["Components", "mean AVEbsld"],
+            [(label, f"{score:.2f}") for label, score in result.leaderboard()],
+            title=f"Scenario leaderboard ({name})",
+        )
+    )
+    return 0
+
+
+def _print_table6(result) -> None:
     rows = []
     for log, clair_fcfs, clair_sjbf, easy, easypp, rng_f, rng_s in result.table6_rows():
         rows.append(
@@ -242,6 +315,52 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title="Campaign overview (paper Table 6 layout)",
         )
     )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if getattr(args, "spec", None):
+        return _cmd_spec_campaign(args)
+    result = _campaign_from_args(args)
+    _print_table6(result)
+    return 0
+
+
+def _cmd_spec(args: argparse.Namespace) -> int:
+    from .spec import triple_keys_of, validate_spec_file
+
+    if args.spec_command == "validate":
+        failures = 0
+        for path in args.files:
+            try:
+                name, cells = validate_spec_file(path)
+            except Exception as exc:  # noqa: BLE001 - report every bad file
+                print(f"FAIL {path}: {exc}")
+                failures += 1
+                continue
+            legacy = sum(1 for c in cells if c.triple_key is not None)
+            print(
+                f"ok   {path} ({name}): {len(cells)} cell(s), "
+                f"{legacy} with a legacy triple spelling"
+            )
+        return 1 if failures else 0
+
+    name, cells = validate_spec_file(args.file)
+    if args.format == "keys":
+        entries = triple_keys_of(cells)
+    elif args.format == "json":
+        entries = [cell.canonical() for cell in cells]
+    else:
+        entries = [
+            f"{cell.workload.log} n={cell.workload.n_jobs} "
+            f"s={cell.workload.seed} {cell.label} [{cell.digest()}]"
+            for cell in cells
+        ]
+    shown = entries if args.limit is None else entries[: args.limit]
+    for entry in shown:
+        print(entry)
+    if len(shown) < len(entries):
+        print(f"... ({len(entries) - len(shown)} more)")
+    print(f"# {name}: {len(cells)} cell(s), {len(triple_keys_of(cells))} unique triple key(s)")
     return 0
 
 
@@ -272,6 +391,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
         args.inputs,
         out_path=args.out,
         check_versions=not args.no_version_check,
+        upgrade_legacy=args.upgrade_legacy,
     )
     print(report.describe())
     print(f"wrote {args.out}")
@@ -352,6 +472,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_worker(args)
     if args.command == "merge":
         return _cmd_merge(args)
+    if args.command == "spec":
+        return _cmd_spec(args)
     if args.command == "table":
         return _cmd_table(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -35,8 +35,9 @@ import numpy as np
 
 from ..metrics.slowdown import DEFAULT_TAU
 from ..sim.engine import ENGINE_VERSION
+from ..spec import CellSpec, WorkloadSpec
 from ..workload.archive import LOG_NAMES, get_trace, stable_seed
-from .run import run_cell
+from .run import build_workload, run_cell
 from .triples import (
     EASY_TRIPLE,
     EASYPP_TRIPLE,
@@ -51,9 +52,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
+    "SpecCampaignResult",
     "run_campaign",
+    "run_cells",
     "trace_digest",
+    "workload_digest",
+    "cell_token",
+    "upgrade_legacy_token",
     "CACHE_VERSION",
+    "LEGACY_CACHE_VERSION",
     "ResultCache",
     "iter_cache_records",
     "parse_cache_record",
@@ -61,11 +68,19 @@ __all__ = [
 
 #: Bump when the cache record layout changes.  Engine/workload semantic
 #: changes are covered separately: the cache token embeds ENGINE_VERSION
-#: and the per-trace content digest.
-CACHE_VERSION = 4
+#: and the per-trace content digest; component/engine-knob changes are
+#: covered by the CellSpec digest.  Version 5: spec-digest cache keys.
+CACHE_VERSION = 5
+
+#: The pre-spec token layout (positional tuple keys); rows in this
+#: format are still readable -- see :func:`upgrade_legacy_token`.
+LEGACY_CACHE_VERSION = 4
 
 #: memoised (log, n_jobs, seed) -> 16-hex digest of the generated trace.
 _DIGEST_MEMO: dict[tuple[str, int, int], str] = {}
+
+#: memoised workload-spec digest -> trace digest (filtered/resized ones).
+_WORKLOAD_DIGEST_MEMO: dict[str, str] = {}
 
 
 def trace_digest(log: str, n_jobs: int, seed: int) -> str:
@@ -84,9 +99,88 @@ def trace_digest(log: str, n_jobs: int, seed: int) -> str:
     return digest
 
 
+def workload_digest(workload: WorkloadSpec) -> str:
+    """Trace content digest for any workload spec.
+
+    Plain workloads share the classic ``(log, n_jobs, seed)`` memo;
+    filtered or machine-resized ones digest the trace they actually
+    produce, so filter/override changes invalidate exactly their own
+    cells.
+    """
+    if workload.is_plain:
+        return trace_digest(workload.log, workload.n_jobs, workload.seed)
+    memo_key = json.dumps(workload.to_obj(), sort_keys=True)
+    digest = _WORKLOAD_DIGEST_MEMO.get(memo_key)
+    if digest is None:
+        digest = build_workload(workload).digest()
+        _WORKLOAD_DIGEST_MEMO[memo_key] = digest
+    return digest
+
+
+def cell_token(spec: CellSpec, trace_digest_hint: str | None = None) -> str:
+    """The cache key / queue identity of one cell.
+
+    ``v<CACHE_VERSION>|e<ENGINE_VERSION>|<log>@<trace digest>|spec:<spec digest>``
+
+    The spec digest covers everything declarative (workload shape,
+    components + params, engine knobs); the trace digest covers what the
+    generator actually produced, so generator changes invalidate cells
+    even though specs are unchanged.  ``trace_digest_hint`` lets callers
+    that already know the trace digest (the legacy-row upgrader) skip
+    regeneration.
+    """
+    digest = trace_digest_hint or workload_digest(spec.workload)
+    return (
+        f"v{CACHE_VERSION}|e{ENGINE_VERSION}|{spec.workload.log}@{digest}"
+        f"|spec:{spec.digest()}"
+    )
+
+
+def upgrade_legacy_token(token: str) -> str | None:
+    """Re-key a ``LEGACY_CACHE_VERSION`` (v4, positional-tuple) cache row.
+
+    The v4 layout was ``v4|e<E>|<log>@<digest>|<pred>|<corr>|<sched>|
+    n=..|s=..|mp=..|tau=..``.  When the row was produced by the same
+    engine version and its tuple lowers onto the spec layer, the
+    equivalent v5 token is returned (reusing the embedded trace digest,
+    so no trace is regenerated); anything else -- other versions, other
+    engines, malformed keys -- returns ``None`` and the row is ignored.
+    """
+    parts = token.split("|")
+    if len(parts) != 10 or parts[0] != f"v{LEGACY_CACHE_VERSION}":
+        return None
+    if parts[1] != f"e{ENGINE_VERSION}":
+        return None  # stale engine semantics must not be resurrected
+    log_at_digest = parts[2]
+    triple_key = "|".join(parts[3:6])
+    log, sep, digest = log_at_digest.partition("@")
+    if not sep or not log or not digest:
+        return None
+    try:
+        fields = dict(part.split("=", 1) for part in parts[6:])
+        spec = CellSpec.from_triple(
+            log,
+            triple_key,
+            n_jobs=int(fields["n"]),
+            seed=int(fields["s"]),
+            min_prediction=float(fields["mp"]),
+            tau=float(fields["tau"]),
+        )
+    except (KeyError, ValueError, TypeError):
+        return None
+    return cell_token(spec, trace_digest_hint=digest)
+
+
 @dataclass(frozen=True)
 class CampaignConfig:
-    """Everything that determines a campaign's numbers."""
+    """Everything that determines the *paper* campaign's numbers.
+
+    This is a convenience grid over the declarative spec layer: it
+    expands to plain :class:`repro.spec.CellSpec` cells via
+    :meth:`cell_spec`, and arbitrary scenario grids (different machine
+    sizes, filtered workloads, tuned component params) come from
+    experiment spec files instead (:mod:`repro.spec.grid`).
+    """
 
     logs: tuple[str, ...] = LOG_NAMES
     n_jobs: int = 2000
@@ -98,13 +192,33 @@ class CampaignConfig:
         base = stable_seed(log)
         return [base + r for r in range(self.replicas)]
 
-    def cache_token(self, log: str, triple_key: str, seed: int) -> str:
-        digest = trace_digest(log, self.n_jobs, seed)
-        return (
-            f"v{CACHE_VERSION}|e{ENGINE_VERSION}|{log}@{digest}|{triple_key}"
-            f"|n={self.n_jobs}|s={seed}"
-            f"|mp={self.min_prediction:g}|tau={self.tau:g}"
+    def cell_spec(
+        self, log: str, triple: HeuristicTriple | str, seed: int
+    ) -> CellSpec:
+        """The fully-specified cell for one (log, triple, seed)."""
+        return CellSpec.from_triple(
+            log,
+            triple.key if isinstance(triple, HeuristicTriple) else triple,
+            n_jobs=self.n_jobs,
+            seed=seed,
+            min_prediction=self.min_prediction,
+            tau=self.tau,
         )
+
+    def cell_specs(
+        self, triples: Sequence[HeuristicTriple]
+    ) -> list[CellSpec]:
+        """Every cell of this config x ``triples``, in campaign order."""
+        return [
+            self.cell_spec(log, triple, seed)
+            for log in self.logs
+            for seed in self.seeds_for(log)
+            for triple in triples
+        ]
+
+    def cache_token(self, log: str, triple_key: str, seed: int) -> str:
+        """Compatibility shim: the token of one legacy tuple cell."""
+        return cell_token(self.cell_spec(log, triple_key, seed))
 
 
 @dataclass
@@ -228,16 +342,31 @@ class ResultCache:
     :meth:`put` is written through immediately, so an interrupted
     campaign loses at most the cells still in flight; corrupt or partial
     trailing lines (a crash mid-write) are skipped on load.
+
+    Pre-redesign (``LEGACY_CACHE_VERSION``) rows are upgraded in memory
+    on load -- same engine version, tuple key lowered to its spec digest
+    -- so a warm cache written before the spec redesign still serves its
+    cells without one re-simulation.  :attr:`legacy_rows` counts them;
+    the file itself is never rewritten.
     """
 
     def __init__(self, path: str | None) -> None:
         self.path = path
         self._data: dict[str, float] = {}
         self._fh: IO[str] | None = None
+        self.legacy_rows = 0
+        legacy_prefix = f"v{LEGACY_CACHE_VERSION}|"
         if path and os.path.exists(path):
             records, _torn = iter_cache_records(path)
             for _lineno, token, value in records:
                 self._data[token] = value
+                if token.startswith(legacy_prefix):
+                    upgraded = upgrade_legacy_token(token)
+                    if upgraded is not None:
+                        # serve the old row under its new identity too
+                        # (same engine version, so the value still holds)
+                        self._data.setdefault(upgraded, value)
+                        self.legacy_rows += 1
 
     def __len__(self) -> int:
         return len(self._data)
@@ -331,13 +460,117 @@ class ProgressLog:
 _ProgressLog = ProgressLog
 
 
-def _run_one(args: tuple) -> tuple[str, str, int, float]:
+def _run_one(spec: CellSpec) -> tuple[CellSpec, float]:
     """Worker-side shim (must be module-level for pickling)."""
-    log, triple_key, n_jobs, seed, min_prediction, tau = args
-    score = run_cell(
-        log, triple_key, n_jobs=n_jobs, seed=seed, min_prediction=min_prediction, tau=tau
-    )
-    return (log, triple_key, seed, score)
+    return (spec, run_cell(spec))
+
+
+@dataclass
+class SpecCampaignResult:
+    """Scores of an arbitrary cell-spec campaign, keyed by spec digest."""
+
+    cells: list[CellSpec]
+    #: spec digest -> AVEbsld.
+    scores: dict[str, float] = field(default_factory=dict)
+
+    def score(self, spec: CellSpec) -> float:
+        return self.scores[spec.digest()]
+
+    def rows(self) -> list[tuple[CellSpec, float]]:
+        """(cell, score) pairs in campaign order."""
+        return [(cell, self.scores[cell.digest()]) for cell in self.cells]
+
+    def leaderboard(self) -> list[tuple[str, float]]:
+        """Mean score per component-label, best first -- the generic
+        report for grids that aren't the paper's triple matrix."""
+        by_label: dict[str, list[float]] = {}
+        for cell, score in self.rows():
+            by_label.setdefault(cell.label, []).append(score)
+        means = [
+            (label, float(np.mean(values))) for label, values in by_label.items()
+        ]
+        return sorted(means, key=lambda item: item[1])
+
+    def to_campaign_result(self) -> "CampaignResult | None":
+        """Reshape into the paper-table :class:`CampaignResult` when the
+        cells form a rectangular legacy grid (every cell lowers to a
+        triple key, plain workloads, uniform n_jobs/engine knobs, the
+        same triples and seed count on every log); ``None`` otherwise.
+        """
+        if not self.cells:
+            return None
+        by_log: dict[str, dict[str, dict[int, float]]] = {}
+        seeds_by_log: dict[str, list[int]] = {}
+        knobs = set()
+        for cell in self.cells:
+            key = cell.triple_key
+            if key is None or not cell.workload.is_plain:
+                return None
+            knobs.add((cell.workload.n_jobs, cell.min_prediction, cell.tau))
+            log = cell.workload.log
+            seed = cell.workload.seed
+            by_log.setdefault(log, {}).setdefault(key, {})[seed] = self.scores[
+                cell.digest()
+            ]
+            if seed not in seeds_by_log.setdefault(log, []):
+                seeds_by_log[log].append(seed)
+        if len(knobs) != 1:
+            return None
+        n_jobs, min_prediction, tau = next(iter(knobs))
+        triple_sets = {frozenset(keys) for keys in by_log.values()}
+        replica_counts = {len(seeds) for seeds in seeds_by_log.values()}
+        if len(triple_sets) != 1 or len(replica_counts) != 1:
+            return None
+        config = CampaignConfig(
+            logs=tuple(by_log),
+            n_jobs=n_jobs,
+            replicas=next(iter(replica_counts)),
+            min_prediction=min_prediction,
+            tau=tau,
+        )
+        result = CampaignResult(config=config)
+        for log, per_triple in by_log.items():
+            result.scores[log] = {}
+            for key, per_seed in per_triple.items():
+                if len(per_seed) != config.replicas:
+                    return None  # ragged grid
+                result.scores[log][key] = [
+                    per_seed[seed] for seed in seeds_by_log[log]
+                ]
+        return result
+
+
+def run_cells(
+    cells: Sequence[CellSpec],
+    cache_path: str | None = None,
+    workers: int | None = None,
+    progress: bool = False,
+    progress_path: str | None = None,
+    backend: "Broker | str" = "local",
+    queue_dir: str | None = None,
+) -> SpecCampaignResult:
+    """Run (or warm-load) an arbitrary list of cell specs.
+
+    The generic campaign entry point behind ``repro campaign --spec``:
+    expansion of an experiment file hands its cells here, the cache and
+    every dispatch backend key them by spec digest, and the result comes
+    back digest-indexed (reshape with
+    :meth:`SpecCampaignResult.to_campaign_result` for the paper tables).
+    """
+    from ..dist.broker import resolve_backend
+
+    cells = list(cells)
+    broker = resolve_backend(backend, workers=workers, queue_dir=queue_dir)
+    cache = ResultCache(cache_path)
+    plog = _ProgressLog(progress_path)
+    try:
+        scores = _execute_cells(cells, cache, plog, broker, progress)
+    finally:
+        # a failing worker must not leak the cache/progress handles; every
+        # cell finished before the failure is already flushed to disk
+        plog.close()
+        cache.close()
+    return SpecCampaignResult(cells=cells, scores=scores)
 
 
 def run_campaign(
@@ -351,7 +584,7 @@ def run_campaign(
     backend: "Broker | str" = "local",
     queue_dir: str | None = None,
 ) -> CampaignResult:
-    """Run (or load from cache) the campaign for ``config``.
+    """Run (or load from cache) the paper campaign for ``config``.
 
     ``triples`` restricts the campaign to a subset (default: the paper's
     128 plus, with ``include_references``, the 2 clairvoyant references).
@@ -379,8 +612,6 @@ def run_campaign(
             config, cache, plog, triples, broker, progress
         )
     finally:
-        # a failing worker must not leak the cache/progress handles; every
-        # cell finished before the failure is already flushed to disk
         plog.close()
         cache.close()
 
@@ -393,41 +624,73 @@ def _run_campaign_inner(
     broker: "Broker",
     progress: bool,
 ) -> CampaignResult:
-    wanted: list[tuple[str, str, int]] = []
-    for log in config.logs:
-        for seed in config.seeds_for(log):
-            for triple in triples:
-                wanted.append((log, triple.key, seed))
-
-    pending = [
-        (log, key, seed)
-        for (log, key, seed) in wanted
-        if cache.get(config.cache_token(log, key, seed)) is None
-    ]
-    plog.emit(
-        {
-            "event": "start",
-            "total": len(wanted),
-            "cached": len(wanted) - len(pending),
-            "pending": len(pending),
+    wanted = config.cell_specs(triples)
+    scores = _execute_cells(
+        cells=wanted,
+        cache=cache,
+        plog=plog,
+        broker=broker,
+        progress=progress,
+        start_extra={
             "logs": list(config.logs),
             "n_jobs": config.n_jobs,
             "replicas": config.replicas,
+        },
+    )
+    result = CampaignResult(config=config)
+    for log in config.logs:
+        result.scores[log] = {}
+        for triple in triples:
+            values = []
+            for seed in config.seeds_for(log):
+                spec = config.cell_spec(log, triple, seed)
+                values.append(scores[spec.digest()])
+            result.scores[log][triple.key] = values
+    return result
+
+
+def _execute_cells(
+    cells: Sequence[CellSpec],
+    cache: ResultCache,
+    plog: _ProgressLog,
+    broker: "Broker",
+    progress: bool,
+    start_extra: dict | None = None,
+) -> dict[str, float]:
+    """The shared execution core: warm-load from the cache, dispatch the
+    remainder through the broker, return spec-digest -> score."""
+    tokens = {spec.digest(): cell_token(spec) for spec in cells}
+    scores: dict[str, float] = {}
+    pending: list[CellSpec] = []
+    for spec in cells:
+        value = cache.get(tokens[spec.digest()])
+        if value is None:
+            pending.append(spec)
+        else:
+            scores[spec.digest()] = value
+    plog.emit(
+        {
+            "event": "start",
+            "total": len(cells),
+            "cached": len(cells) - len(pending),
+            "pending": len(pending),
+            **(start_extra or {}),
         }
     )
     if pending:
         done = 0
 
-        def record(log: str, key: str, seed: int, score: float) -> None:
+        def record(spec: CellSpec, score: float) -> None:
             nonlocal done
             done += 1
-            cache.put(config.cache_token(log, key, seed), score)
+            scores[spec.digest()] = score
+            cache.put(tokens[spec.digest()], score)
             plog.emit(
                 {
                     "event": "cell",
-                    "log": log,
-                    "triple": key,
-                    "seed": seed,
+                    "log": spec.workload.log,
+                    "triple": spec.label,
+                    "seed": spec.workload.seed,
                     "avebsld": score,
                     "done": done,
                     "total": len(pending),
@@ -436,20 +699,12 @@ def _run_campaign_inner(
             if progress and done % 50 == 0:
                 print(f"  campaign: {done}/{len(pending)} simulations done")
 
-        broker.dispatch(config, pending, record, emit=plog.emit)
+        broker.dispatch(pending, record, emit=plog.emit)
         cache.flush()
-
-    result = CampaignResult(config=config)
-    for log in config.logs:
-        result.scores[log] = {}
-        for triple in triples:
-            values = []
-            for seed in config.seeds_for(log):
-                token = config.cache_token(log, triple.key, seed)
-                value = cache.get(token)
-                if value is None:
-                    raise RuntimeError(f"campaign cache missing {token}")
-                values.append(value)
-            result.scores[log][triple.key] = values
-    plog.emit({"event": "end", "total": len(wanted)})
-    return result
+    missing = [spec for spec in cells if spec.digest() not in scores]
+    if missing:
+        raise RuntimeError(
+            f"campaign cache missing {tokens[missing[0].digest()]}"
+        )
+    plog.emit({"event": "end", "total": len(cells)})
+    return scores

@@ -1,7 +1,14 @@
-"""Single-simulation entry point used by the campaign runner.
+"""Single-simulation entry points used by the campaign runner.
 
-Kept as a module-level function with a picklable signature so
-:class:`concurrent.futures.ProcessPoolExecutor` can dispatch it.
+The primitive is now spec-shaped: :func:`run_spec` (and its score-only
+form :func:`run_cell`) takes one :class:`repro.spec.CellSpec` -- the
+declarative description that also keys the cache and identifies cells on
+the distributed queue -- so every execution path (local pool, fsqueue
+worker, CLI one-offs) consumes the same object it is keyed by.  The
+legacy positional helpers (:func:`run_triple`) lower to specs.
+
+Kept as module-level functions with picklable signatures so
+:class:`concurrent.futures.ProcessPoolExecutor` can dispatch them.
 """
 
 from __future__ import annotations
@@ -11,11 +18,19 @@ from dataclasses import dataclass
 from ..metrics.slowdown import DEFAULT_TAU, average_bounded_slowdown
 from ..sim.engine import Simulator
 from ..sim.results import SimulationResult
+from ..spec import CellSpec, WorkloadSpec, filter_registry
 from ..workload.archive import get_trace, stable_seed
 from ..workload.trace import Trace
 from .triples import HeuristicTriple
 
-__all__ = ["RunOutcome", "run_triple_on_trace", "run_triple", "run_cell"]
+__all__ = [
+    "RunOutcome",
+    "build_workload",
+    "run_spec",
+    "run_cell",
+    "run_triple_on_trace",
+    "run_triple",
+]
 
 
 @dataclass(frozen=True)
@@ -29,19 +44,86 @@ class RunOutcome:
     utilization: float
     corrections: int
     max_queue_length: int
+    #: content digest of the spec that produced this outcome ("" for
+    #: outcomes built by pre-spec callers).
+    spec_digest: str = ""
 
     @property
     def triple(self) -> HeuristicTriple:
         return HeuristicTriple.from_key(self.triple_key)
 
 
+def build_workload(workload: WorkloadSpec) -> Trace:
+    """Materialise a workload spec: synthesise (or load) the base trace,
+    apply its filters in order, then any machine-size override.
+
+    A ``processors`` override that leaves jobs wider than the new
+    machine is a :class:`ValueError` (add a ``max-width`` filter to
+    shrink the workload first) -- never a silent drop.
+    """
+    trace = get_trace(workload.log, n_jobs=workload.n_jobs, seed=workload.seed)
+    registry = filter_registry()
+    for filter_spec in workload.filters:
+        trace = registry.build(filter_spec)(trace)
+    if workload.processors is not None:
+        try:
+            trace = Trace(
+                trace.jobs,
+                processors=workload.processors,
+                name=f"{trace.name}/m{workload.processors}",
+                unix_start_time=trace.unix_start_time,
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"processors override {workload.processors} is too small for "
+                f"workload {workload.log!r}: {exc} (add a "
+                f'{{"name": "max-width", "params": {{"processors": '
+                f"{workload.processors}}}}} filter to shrink it)"
+            ) from exc
+    return trace
+
+
+def run_spec(spec: CellSpec) -> RunOutcome:
+    """Run one fully-specified cell.  Deterministic in the spec."""
+    trace = build_workload(spec.workload)
+    scheduler, predictor, corrector = spec.build_components()
+    simulator = Simulator(
+        trace, scheduler, predictor, corrector, min_prediction=spec.min_prediction
+    )
+    result = simulator.run()
+    return RunOutcome(
+        log=spec.workload.log,
+        triple_key=spec.label,
+        seed=spec.workload.seed,
+        avebsld=average_bounded_slowdown(result, spec.tau),
+        utilization=result.utilization(),
+        corrections=result.total_corrections(),
+        max_queue_length=simulator.stats.max_queue_length,
+        spec_digest=spec.digest(),
+    )
+
+
+def run_cell(spec: CellSpec) -> float:
+    """One campaign cell -> its AVEbsld score.
+
+    The single-cell execution primitive shared by the local process-pool
+    fan-out (:mod:`repro.core.campaign`) and the distributed worker loop
+    (:mod:`repro.dist.worker`).  Module-level and picklable so any
+    executor can dispatch it; deterministic in its argument.
+    """
+    return run_spec(spec).avebsld
+
+
 def run_triple_on_trace(
     trace: Trace,
     triple: HeuristicTriple,
     min_prediction: float = 60.0,
-    tau: float = DEFAULT_TAU,
 ) -> SimulationResult:
-    """Run one triple on an existing trace and return the full result."""
+    """Run one triple on an existing trace and return the full result.
+
+    (No ``tau`` parameter: this returns the raw per-job result, and the
+    bounded-slowdown threshold only enters when a caller aggregates it.)
+    """
     scheduler, predictor, corrector = triple.build()
     simulator = Simulator(
         trace, scheduler, predictor, corrector, min_prediction=min_prediction
@@ -57,46 +139,14 @@ def run_triple(
     min_prediction: float = 60.0,
     tau: float = DEFAULT_TAU,
 ) -> RunOutcome:
-    """Synthesise (or load) the log's trace and run one triple on it.
+    """Legacy positional entry point; lowers to :func:`run_spec`.
 
-    Deterministic: the same arguments always produce the same outcome.
+    Deterministic: the same arguments always produce the same outcome
+    (an omitted ``seed`` resolves to ``stable_seed(log)``).
     """
     if seed is None:
         seed = stable_seed(log)
-    trace = get_trace(log, n_jobs=n_jobs, seed=seed)
-    triple = HeuristicTriple.from_key(triple_key)
-    scheduler, predictor, corrector = triple.build()
-    simulator = Simulator(
-        trace, scheduler, predictor, corrector, min_prediction=min_prediction
-    )
-    result = simulator.run()
-    return RunOutcome(
-        log=log,
-        triple_key=triple_key,
-        seed=seed,
-        avebsld=average_bounded_slowdown(result, tau),
-        utilization=result.utilization(),
-        corrections=result.total_corrections(),
-        max_queue_length=simulator.stats.max_queue_length,
-    )
-
-
-def run_cell(
-    log: str,
-    triple_key: str,
-    n_jobs: int,
-    seed: int,
-    min_prediction: float = 60.0,
-    tau: float = DEFAULT_TAU,
-) -> float:
-    """One campaign cell -> its AVEbsld score.
-
-    The single-cell execution primitive shared by the local process-pool
-    fan-out (:mod:`repro.core.campaign`) and the distributed worker loop
-    (:mod:`repro.dist.worker`).  Module-level and picklable so any
-    executor can dispatch it; deterministic in its arguments.
-    """
-    outcome = run_triple(
+    spec = CellSpec.from_triple(
         log,
         triple_key,
         n_jobs=n_jobs,
@@ -104,4 +154,15 @@ def run_cell(
         min_prediction=min_prediction,
         tau=tau,
     )
-    return outcome.avebsld
+    outcome = run_spec(spec)
+    # reports expect the legacy key spelling here, not the spec label
+    return RunOutcome(
+        log=outcome.log,
+        triple_key=triple_key,
+        seed=outcome.seed,
+        avebsld=outcome.avebsld,
+        utilization=outcome.utilization,
+        corrections=outcome.corrections,
+        max_queue_length=outcome.max_queue_length,
+        spec_digest=outcome.spec_digest,
+    )

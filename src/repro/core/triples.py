@@ -42,7 +42,15 @@ __all__ = [
 
 @dataclass(frozen=True)
 class HeuristicTriple:
-    """One (prediction, correction, backfilling) combination."""
+    """One (prediction, correction, backfilling) combination.
+
+    Kept as a thin compatibility wrapper over the declarative spec
+    layer: component names here are the legacy string shorthands, and
+    :meth:`to_cell_components` /
+    :meth:`repro.spec.CellSpec.from_triple` lower them onto the
+    parameterized registry (:mod:`repro.spec`), which is the actual
+    source of truth for construction and cache identity.
+    """
 
     predictor: str
     corrector: str | None
@@ -56,13 +64,29 @@ class HeuristicTriple:
     @classmethod
     def from_key(cls, key: str) -> "HeuristicTriple":
         parts = key.split("|")
-        if len(parts) != 3:
-            raise ValueError(f"malformed triple key {key!r}")
+        if len(parts) != 3 or not all(parts):
+            raise ValueError(
+                f"malformed triple key {key!r}: need three non-empty "
+                f"'|'-separated components (predictor|corrector|scheduler, "
+                f"with 'none' for no corrector)"
+            )
         predictor, corrector, scheduler = parts
         return cls(
             predictor=predictor,
             corrector=None if corrector == "none" else corrector,
             scheduler=scheduler,
+        )
+
+    def to_cell_components(self):
+        """Normalized ``(predictor, corrector, scheduler)`` component
+        specs -- the lowering of this legacy triple onto the unified
+        registry (see :mod:`repro.spec`)."""
+        from ..spec import corrector_registry, predictor_registry, scheduler_registry
+
+        return (
+            predictor_registry().normalize(self.predictor),
+            corrector_registry().normalize(self.corrector) if self.corrector else None,
+            scheduler_registry().normalize(self.scheduler),
         )
 
     def build(self) -> tuple[Scheduler, Predictor, Corrector | None]:

@@ -18,16 +18,13 @@ __all__ = [
 ]
 
 
-def make_corrector(name: str) -> Corrector:
-    """Construct a corrector from its registry name."""
-    registry = {
-        "requested": RequestedTimeCorrector,
-        "incremental": IncrementalCorrector,
-        "doubling": RecursiveDoublingCorrector,
-    }
-    try:
-        return registry[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown corrector {name!r}; known: {', '.join(registry)}"
-        ) from None
+def make_corrector(spec) -> Corrector:
+    """Construct a corrector from the unified component registry.
+
+    Accepts a name string (``requested``, ``incremental``,
+    ``doubling``), a ``{"name": ..., "params": {...}}`` dict, or a ready
+    :class:`repro.spec.ComponentSpec`.
+    """
+    from ..spec.components import corrector_registry
+
+    return corrector_registry().build(spec)

@@ -1,10 +1,11 @@
 """Distributed campaign dispatch.
 
-The campaign matrix -- ``(log, triple, seed)`` cells, 128+ triples by 6
-logs by N replicas -- is embarrassingly parallel, and the JSONL cell
-cache (:mod:`repro.core.campaign`) was designed to be merge-friendly.
-This package turns the single-host process-pool fan-out into a sharded,
-restartable, multi-host system:
+A campaign's cell matrix -- :class:`repro.spec.CellSpec` cells, e.g. the
+paper's 128+ triples by 6 logs by N replicas, or any grid expanded from
+an experiment spec file -- is embarrassingly parallel, and the JSONL
+cell cache (:mod:`repro.core.campaign`) was designed to be
+merge-friendly.  This package turns the single-host process-pool fan-out
+into a sharded, restartable, multi-host system:
 
 * :mod:`repro.dist.shards`  -- partitions the cell matrix into balanced
   shards using per-cell cost estimates seeded from ``BENCH_engine.json``;

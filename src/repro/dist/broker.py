@@ -24,32 +24,29 @@ import os
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import Callable, Sequence
 
 from ..core.campaign import parse_cache_record
+from ..spec import CellSpec
 from .fsqueue import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS, FsQueue
 from .merge import merge_caches
-from .shards import DEFAULT_CELLS_PER_SHARD, Cell, plan_shards
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.campaign import CampaignConfig
+from .shards import DEFAULT_CELLS_PER_SHARD, plan_shards
 
 __all__ = ["Broker", "LocalBroker", "FsQueueBroker", "resolve_backend"]
 
-#: on_result(log, triple_key, seed, avebsld)
-ResultCallback = Callable[[str, str, int, float], None]
+#: on_result(cell_spec, avebsld)
+ResultCallback = Callable[[CellSpec, float], None]
 #: emit(progress_event_dict)
 EmitCallback = Callable[[dict], None]
 
 
 class Broker(ABC):
-    """Strategy for simulating a batch of campaign cells."""
+    """Strategy for simulating a batch of campaign cell specs."""
 
     @abstractmethod
     def dispatch(
         self,
-        config: "CampaignConfig",
-        cells: Sequence[Cell],
+        cells: Sequence[CellSpec],
         on_result: ResultCallback,
         emit: EmitCallback | None = None,
     ) -> None:
@@ -68,30 +65,26 @@ class LocalBroker(Broker):
 
     def dispatch(
         self,
-        config: "CampaignConfig",
-        cells: Sequence[Cell],
+        cells: Sequence[CellSpec],
         on_result: ResultCallback,
         emit: EmitCallback | None = None,
     ) -> None:
         from ..core.campaign import _run_one
 
-        jobs = [
-            (log, key, config.n_jobs, seed, config.min_prediction, config.tau)
-            for (log, key, seed) in cells
-        ]
+        jobs = list(cells)
         workers = self.workers
         if workers is None:
             cpu = os.cpu_count() or 1
             workers = max(1, min(cpu - 1, 16))
         if workers <= 1 or len(jobs) <= 2:
-            for log, key, seed, score in map(_run_one, jobs):
-                on_result(log, key, seed, score)
+            for spec, score in map(_run_one, jobs):
+                on_result(spec, score)
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [pool.submit(_run_one, job) for job in jobs]
                 for future in as_completed(futures):
-                    log, key, seed, score = future.result()
-                    on_result(log, key, seed, score)
+                    spec, score = future.result()
+                    on_result(spec, score)
 
 
 class FsQueueBroker(Broker):
@@ -130,11 +123,12 @@ class FsQueueBroker(Broker):
     # -- the coordinator loop -------------------------------------------------
     def dispatch(
         self,
-        config: "CampaignConfig",
-        cells: Sequence[Cell],
+        cells: Sequence[CellSpec],
         on_result: ResultCallback,
         emit: EmitCallback | None = None,
     ) -> None:
+        from ..core.campaign import cell_token
+
         emit = emit or (lambda event: None)
         queue = FsQueue.create(self.queue_dir, lease_ttl=self.lease_ttl)
         queue.check_versions()
@@ -144,10 +138,7 @@ class FsQueueBroker(Broker):
         queue.clear_signal("DONE")
         queue.clear_signal("STOP")
 
-        token_map = {
-            config.cache_token(log, key, seed): (log, key, seed)
-            for (log, key, seed) in cells
-        }
+        token_map = {cell_token(spec): spec for spec in cells}
         seen: set[str] = set()
         tailer = _ResultTailer(queue)
 
@@ -157,8 +148,7 @@ class FsQueueBroker(Broker):
                 if token in seen or token not in token_map:
                     continue
                 seen.add(token)
-                log, key, seed = token_map[token]
-                on_result(log, key, seed, value)
+                on_result(token_map[token], value)
                 fresh += 1
             return fresh
 
@@ -180,14 +170,13 @@ class FsQueueBroker(Broker):
         generation = queue.next_generation()
         shards = plan_shards(
             remaining,
-            n_jobs=config.n_jobs,
             n_shards=self.n_shards,
             cells_per_shard=self.cells_per_shard,
             bench_path=self.bench_path,
             prefix=f"g{generation}",
         )
         for shard in shards:
-            queue.enqueue(shard.spec(config))
+            queue.enqueue(shard.manifest())
         own = {shard.shard_id for shard in shards}
         emit(
             {
@@ -244,8 +233,7 @@ class FsQueueBroker(Broker):
         for token, value in merged.items():
             if token in token_map and token not in seen:
                 seen.add(token)
-                log, key, seed = token_map[token]
-                on_result(log, key, seed, value)
+                on_result(token_map[token], value)
         missing = [token for token in token_map if token not in seen]
         if missing:
             raise RuntimeError(

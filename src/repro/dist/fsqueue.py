@@ -151,6 +151,7 @@ class FsQueue:
         """
         from ..core.campaign import CACHE_VERSION
         from ..sim.engine import ENGINE_VERSION
+        from ..spec import SPEC_VERSION
 
         queue = cls(root)
         os.makedirs(queue.root, exist_ok=exist_ok)
@@ -161,6 +162,7 @@ class FsQueue:
                 "format": "repro-fsqueue-v1",
                 "cache_version": CACHE_VERSION,
                 "engine_version": ENGINE_VERSION,
+                "spec_version": SPEC_VERSION,
                 "lease_ttl": float(
                     DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl
                 ),
@@ -181,12 +183,19 @@ class FsQueue:
 
     def check_versions(self) -> dict:
         """Raise :class:`QueueVersionError` unless this code matches the
-        queue's recorded cache/engine versions.  Returns the metadata."""
+        queue's recorded cache/engine/spec versions.  Returns the
+        metadata.  (Queues created before the spec redesign recorded no
+        ``spec_version``; those mismatch on ``cache_version`` anyway.)"""
         from ..core.campaign import CACHE_VERSION
         from ..sim.engine import ENGINE_VERSION
+        from ..spec import SPEC_VERSION
 
         meta = self.read_meta()
-        mine = {"cache_version": CACHE_VERSION, "engine_version": ENGINE_VERSION}
+        mine = {
+            "cache_version": CACHE_VERSION,
+            "engine_version": ENGINE_VERSION,
+            "spec_version": SPEC_VERSION,
+        }
         theirs = {k: meta.get(k) for k in mine}
         if theirs != mine:
             raise QueueVersionError(

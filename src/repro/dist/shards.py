@@ -1,7 +1,7 @@
-"""Shard planning: partition the campaign cell matrix into balanced units.
+"""Shard planning: partition a campaign's cell specs into balanced units.
 
-A *shard* is the unit of distributed dispatch: a named batch of campaign
-cells ``(log, triple_key, seed)`` that one worker claims, simulates and
+A *shard* is the unit of distributed dispatch: a named batch of
+:class:`repro.spec.CellSpec` cells that one worker claims, simulates and
 reports as a whole.  Shards should be
 
 * **coarse enough** that queue overhead (claim, lease renewal, result
@@ -16,6 +16,12 @@ mechanism is active (EXPIRE storms); those ratios are exactly what
 cost model from the benchmark report when one is available and falls
 back to calibrated constants otherwise.  Cells are then distributed with
 the classic LPT (longest processing time first) greedy heuristic.
+
+Shard manifests -- the JSON documents enqueued for workers -- carry each
+cell in its canonical spec encoding plus the coordinator's
+``CACHE_VERSION`` / ``ENGINE_VERSION`` / ``SPEC_VERSION``, so
+version-skewed workers refuse the work instead of producing
+mis-keyed results.
 """
 
 from __future__ import annotations
@@ -24,13 +30,11 @@ import heapq
 import json
 import os
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import Iterable, Sequence
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.campaign import CampaignConfig
+from ..spec import SPEC_VERSION, CellSpec
 
 __all__ = [
-    "Cell",
     "Shard",
     "CellCostModel",
     "load_bench_cost_model",
@@ -38,71 +42,68 @@ __all__ = [
     "DEFAULT_CELLS_PER_SHARD",
 ]
 
-#: A campaign cell: (log, triple_key, seed).
-Cell = tuple[str, str, int]
-
 #: Default shard granularity when the caller does not fix a shard count.
 DEFAULT_CELLS_PER_SHARD = 16
 
 
 @dataclass(frozen=True)
 class Shard:
-    """A named, costed batch of campaign cells."""
+    """A named, costed batch of campaign cell specs."""
 
     shard_id: str
-    cells: tuple[Cell, ...]
+    cells: tuple[CellSpec, ...]
     est_cost: float
 
-    def spec(self, config: "CampaignConfig") -> dict:
+    def manifest(self) -> dict:
         """The JSON document enqueued for workers.
 
-        Carries everything a worker needs to recompute cache tokens and
-        run cells -- plus the cache/engine versions of the coordinator's
-        code, which workers refuse to serve if they don't match.
+        Each cell travels in its canonical spec form -- everything a
+        worker needs to recompute the cache token and run the cell, with
+        no side-channel campaign config.
         """
         from ..core.campaign import CACHE_VERSION
         from ..sim.engine import ENGINE_VERSION
 
         return {
             "shard_id": self.shard_id,
-            "cells": [list(cell) for cell in self.cells],
+            "cells": [cell.to_obj() for cell in self.cells],
             "est_cost": round(self.est_cost, 4),
-            "n_jobs": config.n_jobs,
-            "min_prediction": config.min_prediction,
-            "tau": config.tau,
             "cache_version": CACHE_VERSION,
             "engine_version": ENGINE_VERSION,
+            "spec_version": SPEC_VERSION,
         }
 
 
 @dataclass(frozen=True)
 class CellCostModel:
-    """Relative per-job simulation cost by scheduler and correction load.
+    """Relative simulation cost by scheduler and correction load.
 
     Units are arbitrary (only ratios matter for balance): ``weight(cell)
     = scheduler_weight * n_jobs * correction_factor``.
     """
 
-    #: per-job weight by scheduler name (fallback used for unknown ones).
+    #: per-job weight by scheduler key (fallback used for unknown ones).
     scheduler_weights: dict[str, float] = field(
         default_factory=lambda: {"easy": 1.0, "easy-sjbf": 1.0, "conservative": 1.6}
     )
-    #: multiplier when the triple runs a correction mechanism.
+    #: multiplier when the cell runs a correction mechanism.
     correction_factor: float = 3.0
     #: where the weights came from ("defaults" or the bench file path).
     source: str = "defaults"
 
-    def cell_cost(self, triple_key: str, n_jobs: int) -> float:
-        """Estimated cost of one cell of ``n_jobs`` jobs."""
-        parts = triple_key.split("|")
-        if len(parts) != 3:
-            raise ValueError(f"malformed triple key {triple_key!r}")
-        _, corrector, scheduler = parts
+    def cell_cost(self, cell: CellSpec) -> float:
+        """Estimated cost of one cell."""
+        scheduler = cell.scheduler
+        order = scheduler.param_dict.get("order", "fcfs")
+        key = scheduler.name if order == "fcfs" else f"{scheduler.name}-{order}"
         base = self.scheduler_weights.get(
-            scheduler, max(self.scheduler_weights.values())
+            key,
+            self.scheduler_weights.get(
+                scheduler.name, max(self.scheduler_weights.values())
+            ),
         )
-        factor = self.correction_factor if corrector != "none" else 1.0
-        return base * n_jobs * factor
+        factor = self.correction_factor if cell.corrector is not None else 1.0
+        return base * cell.workload.n_jobs * factor
 
 
 def load_bench_cost_model(path: str | None = None) -> CellCostModel:
@@ -146,8 +147,7 @@ def load_bench_cost_model(path: str | None = None) -> CellCostModel:
 
 
 def plan_shards(
-    cells: Iterable[Cell],
-    n_jobs: int,
+    cells: Iterable[CellSpec] | Sequence[CellSpec],
     n_shards: int | None = None,
     cost_model: CellCostModel | None = None,
     bench_path: str | None = None,
@@ -161,7 +161,7 @@ def plan_shards(
     and assigned greedily to the least-loaded shard (LPT), which is
     within 4/3 of the optimal makespan.  Deterministic: the same inputs
     always produce the same shards, and cells inside a shard are emitted
-    in campaign order so workers warm per-``(log, seed)`` trace caches.
+    in campaign order so workers warm per-workload trace caches.
     """
     cells = list(cells)
     if not cells:
@@ -172,17 +172,16 @@ def plan_shards(
         n_shards = max(1, (len(cells) + cells_per_shard - 1) // cells_per_shard)
     n_shards = min(n_shards, len(cells))
 
-    order = {cell: idx for idx, cell in enumerate(cells)}
     costed = sorted(
-        ((cost_model.cell_cost(key, n_jobs), order[(log, key, seed)], (log, key, seed))
-         for log, key, seed in cells),
+        ((cost_model.cell_cost(cell), position, cell)
+         for position, cell in enumerate(cells)),
         key=lambda item: (-item[0], item[1]),
     )
     # (load, shard_index) min-heap; ties resolve to the lowest index so
     # the plan is stable across runs and platforms.
     heap: list[tuple[float, int]] = [(0.0, idx) for idx in range(n_shards)]
     heapq.heapify(heap)
-    buckets: list[list[tuple[int, Cell]]] = [[] for _ in range(n_shards)]
+    buckets: list[list[tuple[int, CellSpec]]] = [[] for _ in range(n_shards)]
     loads = [0.0] * n_shards
     for cost, position, cell in costed:
         load, idx = heapq.heappop(heap)
@@ -195,7 +194,7 @@ def plan_shards(
     for idx, bucket in enumerate(buckets):
         if not bucket:
             continue
-        bucket.sort()
+        bucket.sort(key=lambda item: item[0])
         shards.append(
             Shard(
                 shard_id=f"{prefix}-{idx:0{width}d}",

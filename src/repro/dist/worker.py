@@ -33,7 +33,14 @@ import time
 from dataclasses import dataclass, field
 
 from ..core.campaign import ProgressLog, iter_cache_records
-from .fsqueue import DEFAULT_LEASE_TTL, FsQueue, Lease, LeaseLost, sanitize_id
+from .fsqueue import (
+    DEFAULT_LEASE_TTL,
+    FsQueue,
+    Lease,
+    LeaseLost,
+    QueueVersionError,
+    sanitize_id,
+)
 
 __all__ = ["WorkerStats", "run_worker", "default_worker_id"]
 
@@ -106,7 +113,6 @@ def run_worker(
     ``max_idle=None`` waits for a DONE/STOP marker forever; a float exits
     after that many seconds without claimable work (0 drains and exits).
     """
-    from ..core.campaign import CampaignConfig
     from ..core.run import run_cell
 
     queue = FsQueue(queue_dir)
@@ -181,7 +187,7 @@ def run_worker(
             except (OSError, ValueError):
                 lease_ttl = float(meta.get("lease_ttl", DEFAULT_LEASE_TTL))
             _run_shard(
-                queue, lease, run_cell, CampaignConfig, progress, stats,
+                queue, lease, run_cell, progress, stats,
                 heartbeat_interval=max(0.05, lease_ttl / 4.0),
             )
             if max_shards is not None and stats.shards >= max_shards:
@@ -206,21 +212,24 @@ def _run_shard(
     queue: FsQueue,
     lease: Lease,
     run_cell,
-    config_cls,
     progress: ProgressLog,
     stats: WorkerStats,
     heartbeat_interval: float = DEFAULT_LEASE_TTL / 4.0,
 ) -> None:
     """Simulate one claimed shard; never raises on a lost lease."""
-    from ..core.campaign import ResultCache
+    from ..core.campaign import ResultCache, cell_token
+    from ..spec import SPEC_VERSION, CellSpec
 
-    spec = lease.spec
-    cells = [tuple(cell) for cell in spec["cells"]]
-    config = config_cls(
-        n_jobs=int(spec["n_jobs"]),
-        min_prediction=float(spec["min_prediction"]),
-        tau=float(spec["tau"]),
-    )
+    manifest = lease.spec
+    shard_spec_version = manifest.get("spec_version", SPEC_VERSION)
+    if shard_spec_version != SPEC_VERSION:
+        # a manifest this code cannot faithfully re-key: abandoning the
+        # lease lets the coordinator's retry/version machinery surface it
+        raise QueueVersionError(
+            f"shard {lease.shard_id} carries spec_version "
+            f"{shard_spec_version!r}, this worker speaks {SPEC_VERSION}"
+        )
+    cells = [CellSpec.from_obj(cell) for cell in manifest["cells"]]
     progress.emit(
         {
             "event": "claim",
@@ -242,21 +251,14 @@ def _run_shard(
     heartbeat = _Heartbeat(queue, lease, heartbeat_interval)
     heartbeat.start()
     try:
-        for log, triple_key, seed in cells:
+        for spec in cells:
             if heartbeat.lost:
                 raise LeaseLost(f"lease on {lease.shard_id} re-queued mid-shard")
-            token = config.cache_token(log, triple_key, int(seed))
+            token = cell_token(spec)
             if token in proven or cache.get(token) is not None:
                 stats.cached_cells += 1
                 continue
-            value = run_cell(
-                log,
-                triple_key,
-                n_jobs=config.n_jobs,
-                seed=int(seed),
-                min_prediction=config.min_prediction,
-                tau=config.tau,
-            )
+            value = run_cell(spec)
             cache.put(token, value)
             ran += 1
             stats.cells += 1
@@ -265,9 +267,9 @@ def _run_shard(
                 {
                     "event": "cell",
                     "shard": lease.shard_id,
-                    "log": log,
-                    "triple": triple_key,
-                    "seed": int(seed),
+                    "log": spec.workload.log,
+                    "triple": spec.label,
+                    "seed": spec.workload.seed,
                     "avebsld": value,
                 }
             )

@@ -46,29 +46,17 @@ __all__ = [
 ]
 
 
-def make_predictor(name: str) -> Predictor:
-    """Construct a predictor from its registry name.
+def make_predictor(spec) -> Predictor:
+    """Construct a predictor from the unified component registry.
 
-    Names: ``clairvoyant``, ``requested``, ``ave2`` (or ``ave<k>``), and
-    ``ml:<over>-<under>-<weight>`` with over/under in {sq, lin} and
-    weight a Table 3 scheme, e.g. ``ml:sq-lin-large-area`` (the E-Loss).
+    Accepts a legacy string (``clairvoyant``, ``requested``, ``ave2`` /
+    ``ave<k>``, ``quantile<q>``, ``ml:<over>-<under>-<weight>`` with
+    over/under in {sq, lin} and weight a Table 3 scheme, e.g.
+    ``ml:sq-lin-large-area`` -- the E-Loss), a parameterized spec dict
+    like ``{"name": "ml", "params": {"over": "sq", "under": "lin",
+    "weight": "large-area", "eta": 0.3}}``, or a ready
+    :class:`repro.spec.ComponentSpec`.
     """
-    if name == "clairvoyant":
-        return ClairvoyantPredictor()
-    if name == "requested":
-        return RequestedTimePredictor()
-    if name.startswith("ave"):
-        k = int(name[3:])
-        return RecentAveragePredictor(k=k)
-    if name.startswith("quantile"):
-        return QuantilePredictor(quantile=float(name[8:]))
-    if name.startswith("ml:"):
-        key = name[3:]
-        long = {"sq": "squared", "lin": "linear"}
-        parts = key.split("-", 2)
-        if len(parts) != 3 or parts[0] not in long or parts[1] not in long:
-            raise KeyError(f"malformed ML predictor key {name!r}")
-        return MLPredictor(
-            LossSpec(over=long[parts[0]], under=long[parts[1]], weight=parts[2])
-        )
-    raise KeyError(f"unknown predictor {name!r}")
+    from ..spec.components import predictor_registry
+
+    return predictor_registry().build(spec)

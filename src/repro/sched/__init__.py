@@ -26,32 +26,16 @@ __all__ = [
 ]
 
 
-def make_scheduler(name: str) -> Scheduler:
-    """Construct a scheduler from its registry name.
+def make_scheduler(spec) -> Scheduler:
+    """Construct a scheduler from the unified component registry.
 
-    Known names: ``fcfs``, ``easy``, ``easy-sjbf``, ``easy-saf``,
-    ``easy-narrow``, ``conservative``, ``conservative-sjbf``.
+    Accepts a legacy string (``fcfs``, ``easy``, ``easy-sjbf``,
+    ``easy-saf``, ``easy-narrow``, ``conservative``,
+    ``conservative-sjbf``, ``multifactor``[``-sjbf``], and the seed
+    ``legacy-*`` oracles -- the ``-<order>`` suffix is shorthand for the
+    ``order`` param), a ``{"name": "easy", "params": {"order": "sjbf"}}``
+    dict, or a ready :class:`repro.spec.ComponentSpec`.
     """
-    registry = {
-        "fcfs": lambda: FcfsScheduler(),
-        "easy": lambda: EasyScheduler("fcfs"),
-        "easy-sjbf": lambda: EasyScheduler("sjbf"),
-        "easy-saf": lambda: EasyScheduler("saf"),
-        "easy-narrow": lambda: EasyScheduler("narrow"),
-        "conservative": lambda: ConservativeScheduler("fcfs"),
-        "conservative-sjbf": lambda: ConservativeScheduler("sjbf"),
-        "multifactor": lambda: MultifactorScheduler(),
-        "multifactor-sjbf": lambda: MultifactorScheduler(backfill_order="sjbf"),
-        # seed per-pass-rescan implementations, kept as correctness and
-        # performance oracles (see sched/legacy.py)
-        "legacy-easy": lambda: LegacyEasyScheduler("fcfs"),
-        "legacy-easy-sjbf": lambda: LegacyEasyScheduler("sjbf"),
-        "legacy-conservative": lambda: LegacyConservativeScheduler("fcfs"),
-        "legacy-conservative-sjbf": lambda: LegacyConservativeScheduler("sjbf"),
-    }
-    try:
-        return registry[name]()
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduler {name!r}; known: {', '.join(registry)}"
-        ) from None
+    from ..spec.components import scheduler_registry
+
+    return scheduler_registry().build(spec)

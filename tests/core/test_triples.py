@@ -55,6 +55,21 @@ class TestTripleMechanics:
         with pytest.raises(ValueError):
             HeuristicTriple.from_key("a|b")
 
+    @pytest.mark.parametrize(
+        "key", ["|none|easy", "requested||easy", "requested|none|", "||"]
+    )
+    def test_empty_component_rejected(self, key):
+        with pytest.raises(ValueError, match="non-empty"):
+            HeuristicTriple.from_key(key)
+
+    def test_lowering_to_cell_components(self):
+        pred, corr, sched = ELOSS_TRIPLE.to_cell_components()
+        assert pred.name == "ml"
+        assert pred.param_dict["weight"] == "large-area"
+        assert corr.name == "incremental"
+        assert sched.param_dict["order"] == "sjbf"
+        assert EASY_TRIPLE.to_cell_components()[1] is None
+
     def test_build_easy(self):
         scheduler, predictor, corrector = EASY_TRIPLE.build()
         assert isinstance(scheduler, EasyScheduler)

@@ -124,27 +124,21 @@ class TestCrashRecovery:
         # Plan and enqueue exactly like a coordinator, then "crash" it:
         # claim one shard as a zombie worker that simulates one cell and
         # disappears without completing or renewing.
-        cells = [
-            (log, triple.key, seed)
-            for log in CONFIG.logs
-            for seed in CONFIG.seeds_for(log)
-            for triple in TRIPLES
-        ]
+        cells = CONFIG.cell_specs(TRIPLES)
         from repro.dist import plan_shards
 
-        for shard in plan_shards(cells, n_jobs=CONFIG.n_jobs, cells_per_shard=4, prefix="g1"):
-            queue.enqueue(shard.spec(CONFIG))
+        for shard in plan_shards(cells, cells_per_shard=4, prefix="g1"):
+            queue.enqueue(shard.manifest())
         zombie = queue.claim("zombie")
         assert zombie is not None
-        log, key, seed = zombie.spec["cells"][0]
         from repro.core import run_cell
+        from repro.core.campaign import cell_token
+        from repro.spec import CellSpec
 
-        value = run_cell(
-            log, key, n_jobs=CONFIG.n_jobs, seed=seed,
-            min_prediction=CONFIG.min_prediction, tau=CONFIG.tau,
-        )
+        zombie_cell = CellSpec.from_obj(zombie.spec["cells"][0])
+        value = run_cell(zombie_cell)
         zombie_cache = ResultCache(queue.result_path(zombie.shard_id, zombie.attempt))
-        zombie_cache.put(CONFIG.cache_token(log, key, seed), value)
+        zombie_cache.put(cell_token(zombie_cell), value)
         zombie_cache.close()
         os.utime(zombie.path, (0, 0))  # heartbeat long dead
 

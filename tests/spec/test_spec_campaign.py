@@ -1,0 +1,144 @@
+"""The declarative campaign path end to end: run_cells == legacy path,
+under the local pool and the fsqueue backend, with shared warm caches."""
+
+import threading
+
+import pytest
+
+from repro.core import CampaignConfig, run_campaign, run_cells
+from repro.core.triples import HeuristicTriple
+from repro.spec import expand_spec_obj
+
+TRIPLES = [
+    HeuristicTriple("requested", None, "easy"),
+    HeuristicTriple("requested", None, "easy-sjbf"),
+    HeuristicTriple("ave2", "incremental", "easy-sjbf"),
+    HeuristicTriple("clairvoyant", None, "easy"),
+]
+
+CONFIG = CampaignConfig(logs=("KTH-SP2",), n_jobs=80, replicas=2)
+
+SPEC_DOC = {
+    "campaign": {
+        "name": "mini-paper",
+        "logs": ["KTH-SP2"],
+        "n_jobs": 80,
+        "replicas": 2,
+    },
+    "grid": [
+        {
+            "predictor": ["requested"],
+            "corrector": ["none"],
+            "scheduler": ["easy", "easy-sjbf"],
+        },
+        {
+            "predictor": ["ave2"],
+            "corrector": ["incremental"],
+            "scheduler": ["easy-sjbf"],
+        },
+        {
+            "predictor": ["clairvoyant"],
+            "corrector": ["none"],
+            "scheduler": ["easy"],
+        },
+    ],
+}
+
+
+@pytest.fixture(scope="module")
+def legacy_result(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("legacy") / "cache.jsonl"
+    return (
+        run_campaign(CONFIG, cache_path=str(cache), workers=2, triples=TRIPLES),
+        cache,
+    )
+
+
+class TestSpecCampaignEquivalence:
+    def test_scores_identical_to_legacy_path(self, legacy_result, tmp_path):
+        reference, _ = legacy_result
+        cells = expand_spec_obj(SPEC_DOC)
+        result = run_cells(cells, cache_path=str(tmp_path / "c.jsonl"), workers=2)
+        campaign = result.to_campaign_result()
+        assert campaign is not None
+        assert campaign.scores == reference.scores
+
+    def test_shares_cache_with_legacy_path(self, legacy_result, monkeypatch):
+        """Spec-file cells hit the very same cache rows the legacy
+        campaign wrote -- zero simulations on a warm legacy cache."""
+        import repro.core.campaign as campaign_mod
+
+        _, cache = legacy_result
+
+        def boom(_spec):
+            raise AssertionError("warm spec campaign must not simulate")
+
+        monkeypatch.setattr(campaign_mod, "_run_one", boom)
+        cells = expand_spec_obj(SPEC_DOC)
+        result = run_cells(cells, cache_path=str(cache), workers=1)
+        assert len(result.scores) == len(cells)
+
+    def test_fsqueue_backend_matches(self, legacy_result, tmp_path):
+        from repro.dist import FsQueueBroker, run_worker
+
+        reference, _ = legacy_result
+        qdir = str(tmp_path / "q")
+        results = {}
+
+        def target():
+            results["stats"] = run_worker(
+                qdir, worker_id="w0", poll_interval=0.05, max_idle=60.0
+            )
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        broker = FsQueueBroker(
+            qdir, cells_per_shard=2, lease_ttl=60.0, poll_interval=0.05, timeout=300.0
+        )
+        cells = expand_spec_obj(SPEC_DOC)
+        result = run_cells(
+            cells, cache_path=str(tmp_path / "c.jsonl"), backend=broker
+        )
+        thread.join(timeout=60)
+        campaign = result.to_campaign_result()
+        assert campaign is not None
+        assert campaign.scores == reference.scores
+        assert results["stats"].shards > 0
+
+    def test_non_legacy_grid_gets_leaderboard_not_tables(self):
+        doc = {
+            "campaign": {"logs": ["KTH-SP2"], "n_jobs": 40, "replicas": 1},
+            "grid": [
+                {
+                    "predictor": [
+                        {"name": "ave", "params": {"k": 2}},
+                        {"name": "ml", "params": {
+                            "over": "sq", "under": "lin",
+                            "weight": "large-area", "eta": 1.0}},
+                    ],
+                    "corrector": ["incremental"],
+                    "scheduler": ["easy-sjbf"],
+                }
+            ],
+        }
+        cells = expand_spec_obj(doc)
+        result = run_cells(cells, workers=1)
+        assert result.to_campaign_result() is None  # tuned eta: no triple key
+        board = result.leaderboard()
+        assert len(board) == 2
+        assert all(score >= 1.0 for _label, score in board)
+
+    def test_heterogeneous_n_jobs_in_one_campaign(self, tmp_path):
+        """Per-cell workload sizes -- impossible under the old positional
+        API where n_jobs was campaign-global."""
+        doc = {
+            "campaign": {"logs": ["KTH-SP2"], "replicas": 1},
+            "grid": [
+                {"n_jobs": 30, "predictor": ["requested"], "scheduler": ["easy"]},
+                {"n_jobs": 60, "predictor": ["requested"], "scheduler": ["easy"]},
+            ],
+        }
+        cells = expand_spec_obj(doc)
+        assert [c.workload.n_jobs for c in cells] == [30, 60]
+        result = run_cells(cells, cache_path=str(tmp_path / "c.jsonl"), workers=1)
+        assert len(result.scores) == 2

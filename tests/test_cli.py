@@ -92,6 +92,64 @@ class TestSimCommand:
         assert capsys.readouterr().out == first
 
 
+MINI_SPEC = """
+[campaign]
+name = "cli-mini"
+logs = ["KTH-SP2"]
+n_jobs = 60
+replicas = 1
+
+[[grid]]
+predictor = ["requested"]
+corrector = ["none"]
+scheduler = ["easy", "easy-sjbf"]
+"""
+
+
+class TestSpecCommands:
+    def test_validate_ok(self, tmp_path, capsys):
+        path = tmp_path / "mini.toml"
+        path.write_text(MINI_SPEC)
+        assert main(["spec", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "2 cell(s)" in out
+
+    def test_validate_reports_failures_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[campaign]\nlogs = [\"KTH-SP2\"]\n[[grid]]\npredictor = [\"warp-drive\"]\nscheduler = [\"easy\"]\n")
+        assert main(["spec", "validate", str(bad)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_expand_keys(self, tmp_path, capsys):
+        path = tmp_path / "mini.toml"
+        path.write_text(MINI_SPEC)
+        assert main(["spec", "expand", str(path), "--format", "keys"]) == 0
+        out = capsys.readouterr().out
+        assert "requested|none|easy" in out
+        assert "requested|none|easy-sjbf" in out
+
+    def test_expand_checked_in_paper_spec(self, capsys):
+        assert main([
+            "spec", "expand", "experiments/paper.toml",
+            "--format", "keys", "--limit", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "requested|none|easy" in out
+        assert "130 unique triple key(s)" in out
+
+    def test_campaign_with_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "mini.toml"
+        path.write_text(MINI_SPEC)
+        cache = tmp_path / "cache.jsonl"
+        assert main([
+            "campaign", "--spec", str(path), "--cache", str(cache), "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        # not the full paper matrix -> leaderboard fallback
+        assert "Scenario leaderboard" in out
+        assert cache.exists()
+
+
 class TestDistCommands:
     def test_worker_requires_queue(self):
         with pytest.raises(SystemExit):
@@ -112,9 +170,13 @@ class TestDistCommands:
 
         config = CampaignConfig(logs=("KTH-SP2",), n_jobs=60, replicas=1)
         queue = FsQueue.create(str(tmp_path / "q"), lease_ttl=60.0)
-        cells = [("KTH-SP2", "requested|none|easy", config.seeds_for("KTH-SP2")[0])]
-        for shard in plan_shards(cells, n_jobs=60, n_shards=1):
-            queue.enqueue(shard.spec(config))
+        cells = [
+            config.cell_spec(
+                "KTH-SP2", "requested|none|easy", config.seeds_for("KTH-SP2")[0]
+            )
+        ]
+        for shard in plan_shards(cells, n_shards=1):
+            queue.enqueue(shard.manifest())
         code = main([
             "worker", "--queue", str(tmp_path / "q"),
             "--worker-id", "t1", "--poll", "0.05", "--max-idle", "0",
