@@ -43,7 +43,7 @@ import numpy as np
 from repro.correct import IncrementalCorrector
 from repro.predict import RecentAveragePredictor, RequestedTimePredictor
 from repro.sched import make_scheduler
-from repro.sim import Simulator
+from repro.sim import SimSession
 from repro.sim.engine import ENGINE_VERSION
 from repro.workload import Job, Trace
 
@@ -148,9 +148,17 @@ def run_scenario(
     schedules = {}
     for side, sched_name in (("profile", scheduler), ("legacy", f"legacy-{scheduler}")):
         predictor, corrector = _components(predictor_spec)
-        sim = Simulator(trace, make_scheduler(sched_name), predictor, corrector)
+        session = SimSession(
+            trace.processors,
+            make_scheduler(sched_name),
+            predictor,
+            corrector,
+            trace_name=trace.name,
+        )
         t0 = time.perf_counter()
-        result = sim.run()
+        session.feed(trace)
+        session.drain()
+        result = session.result()
         timings[side] = time.perf_counter() - t0
         schedules[side] = _schedule_bytes(result)
     identical = schedules["profile"] == schedules["legacy"]
@@ -346,13 +354,15 @@ if pytest is not None:
     )
     def test_engine_throughput(trace, scheduler_name, benchmark):
         def run():
-            sim = Simulator(
-                trace,
+            session = SimSession(
+                trace.processors,
                 make_scheduler(scheduler_name),
                 RequestedTimePredictor(),
+                trace_name=trace.name,
             )
-            result = sim.run()
-            return len(result)
+            session.feed(trace)
+            session.drain()
+            return len(session.result())
 
         n_jobs = benchmark(run)
         assert n_jobs == len(trace)
@@ -361,13 +371,16 @@ if pytest is not None:
         """AVE2 + incremental: the correction-heavy path (EXPIRE events)."""
 
         def run():
-            sim = Simulator(
-                trace,
+            session = SimSession(
+                trace.processors,
                 make_scheduler("easy-sjbf"),
                 RecentAveragePredictor(2),
                 IncrementalCorrector(),
+                trace_name=trace.name,
             )
-            return sim.run().total_corrections()
+            session.feed(trace)
+            session.drain()
+            return session.result().total_corrections()
 
         corrections = benchmark(run)
         assert corrections > 0

@@ -1,0 +1,164 @@
+"""Serving-mode smoke test (CI).
+
+Proves ``repro serve`` end to end, with a real subprocess and pipes:
+
+1. synthesises a small SWF-style trace (runtimes clamped to the serving
+   default ``min_prediction`` so the clairvoyant predictor is *exact*);
+2. batch-runs it (conservative + clairvoyant) as the reference -- under
+   conservative backfilling with exact predictions, the start estimate
+   at submit time equals the start the batch schedule assigns;
+3. derives a JSONL command script (submit+advance, query per job, then
+   drain/result/stats/quit) and pipes it through
+   ``repro serve --scheduler conservative --predictor clairvoyant``;
+4. asserts every served query matches the batch start time, the final
+   served schedule is identical to the batch one, and warm queries are
+   answered in well under a millisecond of server-side time.
+
+Exit code 0 only if every check passes.
+
+Usage::
+
+    python scripts/serve_smoke.py [--n-jobs 60] [--max-warm-us 1000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.predict import ClairvoyantPredictor  # noqa: E402
+from repro.sched import make_scheduler  # noqa: E402
+from repro.sim import simulate  # noqa: E402
+from repro.workload import Trace, get_trace  # noqa: E402
+
+MIN_PREDICTION = 60.0
+
+
+def build_trace(n_jobs: int) -> Trace:
+    base = get_trace("KTH-SP2", n_jobs=n_jobs)
+    jobs = [
+        job.with_updates(
+            runtime=max(job.runtime, MIN_PREDICTION),
+            requested_time=max(job.requested_time, MIN_PREDICTION),
+        )
+        for job in base
+    ]
+    return Trace(jobs, processors=base.processors, name="serve-smoke")
+
+
+def command_script(trace: Trace) -> list[dict]:
+    commands: list[dict] = []
+    for job in trace:
+        commands.append(
+            {
+                "cmd": "submit",
+                "advance": True,
+                "job": {
+                    "job_id": job.job_id,
+                    "submit_time": job.submit_time,
+                    "processors": job.processors,
+                    "requested_time": job.requested_time,
+                    "runtime": job.runtime,
+                    "user": job.user,
+                },
+            }
+        )
+        commands.append({"cmd": "query", "job_id": job.job_id})
+    commands += [{"cmd": "drain"}, {"cmd": "result"}, {"cmd": "stats"},
+                 {"cmd": "quit"}]
+    return commands
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-jobs", type=int, default=60)
+    parser.add_argument(
+        "--max-warm-us", type=float, default=1000.0,
+        help="bound on the median server-side warm-query time (microseconds)",
+    )
+    args = parser.parse_args(argv)
+
+    trace = build_trace(args.n_jobs)
+    batch = simulate(
+        trace, make_scheduler("conservative"), ClairvoyantPredictor(),
+        min_prediction=MIN_PREDICTION,
+    )
+    batch_rows = sorted([r.job_id, r.start_time, r.end_time] for r in batch)
+    batch_starts = {r.job_id: r.start_time for r in batch}
+
+    commands = command_script(trace)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve",
+         "--processors", str(trace.processors),
+         "--scheduler", "conservative",
+         "--predictor", "clairvoyant",
+         "--corrector", "none"],
+        input="".join(json.dumps(c) + "\n" for c in commands),
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    print(proc.stderr.strip())
+    if proc.returncode != 0:
+        print(f"FAIL: repro serve exited {proc.returncode}")
+        return 1
+    responses = [json.loads(line) for line in proc.stdout.splitlines()]
+    if len(responses) != len(commands):
+        print(f"FAIL: {len(commands)} command(s) but {len(responses)} response(s)")
+        return 1
+    bad = [r for r in responses if not r.get("ok")]
+    if bad:
+        print(f"FAIL: {len(bad)} error response(s), first: {bad[0]}")
+        return 1
+    by_cmd: dict[str, list[dict]] = {}
+    for response in responses:
+        by_cmd.setdefault(response["cmd"], []).append(response)
+
+    failures = 0
+    query_times: list[float] = []
+    for answer in by_cmd["query"]:
+        query_times.append(answer["elapsed_us"])
+        expected = batch_starts[answer["job_id"]]
+        if answer["start"] != expected:
+            print(
+                f"FAIL: job {answer['job_id']} served start {answer['start']} "
+                f"!= batch start {expected}"
+            )
+            failures += 1
+    served_rows = by_cmd["result"][0]["jobs"]
+    if served_rows != batch_rows:
+        print("FAIL: served schedule differs from the batch schedule")
+        failures += 1
+
+    # warm latency: ignore the first few queries (cold caches/imports)
+    warm = query_times[min(5, len(query_times) - 1):]
+    median_us = statistics.median(warm)
+    worst_us = max(warm)
+    print(
+        f"queries: {len(query_times)}, warm median {median_us:.0f}us, "
+        f"warm worst {worst_us:.0f}us (bound {args.max_warm_us:.0f}us on median)"
+    )
+    if median_us >= args.max_warm_us:
+        print("FAIL: warm queries slower than the bound")
+        failures += 1
+
+    if failures:
+        return 1
+    print(
+        f"OK: {len(batch_rows)} job(s) served identical to batch, "
+        f"{len(query_times)} quer(ies) exact"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,7 +95,14 @@ from .sched import (
     Scheduler,
     make_scheduler,
 )
-from .sim import Machine, SimulationResult, Simulator, simulate
+from .sim import (
+    EstimatedStart,
+    Machine,
+    SimSession,
+    SimulationResult,
+    Simulator,
+    simulate,
+)
 from .workload import (
     ARCHIVE,
     LOG_NAMES,
@@ -164,6 +171,8 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "simulate",
+    "SimSession",
+    "EstimatedStart",
     "ARCHIVE",
     "LOG_NAMES",
     "Job",

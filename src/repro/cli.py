@@ -11,6 +11,7 @@ Subcommands::
     repro campaign --backend fsqueue --queue /shared/q --cache camp.json
     repro spec validate experiments/*.toml   # check experiment files
     repro spec expand experiments/paper.toml # list the expanded cells
+    repro serve --processors 1024    # live JSONL session (README: Serving mode)
     repro worker --queue /shared/q   # drain shards from a queue dir
     repro merge --out merged.jsonl /shared/q/results
     repro table --which 1|6|7|8      # print a paper table reproduction
@@ -113,6 +114,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--dist-timeout", type=float, default=None,
         help="fsqueue: give up after this many seconds without completion",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-running simulation session speaking JSONL on stdin/stdout",
+    )
+    p_serve.add_argument(
+        "--processors", type=int, required=True, help="machine size to serve"
+    )
+    p_serve.add_argument("--scheduler", default="easy-sjbf")
+    p_serve.add_argument("--predictor", default="ave2")
+    p_serve.add_argument("--corrector", default="incremental")
+    p_serve.add_argument("--min-prediction", type=float, default=60.0)
+    p_serve.add_argument("--name", default="serve", help="session/trace label")
 
     p_worker = sub.add_parser(
         "worker", help="claim and simulate shards from a campaign queue"
@@ -364,6 +378,34 @@ def _cmd_spec(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: JSONL protocol loop over one live SimSession."""
+    from .serve import build_serve_session, serve_loop
+
+    session = build_serve_session(
+        processors=args.processors,
+        scheduler=args.scheduler,
+        predictor=args.predictor,
+        corrector=args.corrector,
+        min_prediction=args.min_prediction,
+        name=args.name,
+    )
+    print(
+        f"serving m={args.processors} scheduler={args.scheduler} "
+        f"predictor={args.predictor} corrector={args.corrector}; "
+        "one JSON request per line (see README 'Serving mode')",
+        file=sys.stderr,
+    )
+    stats = serve_loop(session, sys.stdin, sys.stdout)
+    print(
+        f"serve session closed: {stats.n_requests} request(s), "
+        f"{stats.n_submitted} submitted, {stats.n_queries} query(ies), "
+        f"{stats.n_errors} error(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     from .dist import run_worker
 
@@ -468,6 +510,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sim(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "worker":
         return _cmd_worker(args)
     if args.command == "merge":

@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..metrics.slowdown import DEFAULT_TAU, average_bounded_slowdown
-from ..sim.engine import Simulator
 from ..sim.results import SimulationResult
+from ..sim.session import SimSession
 from ..spec import CellSpec, WorkloadSpec, filter_registry
 from ..workload.archive import get_trace, stable_seed
 from ..workload.trace import Trace
@@ -87,10 +87,17 @@ def run_spec(spec: CellSpec) -> RunOutcome:
     """Run one fully-specified cell.  Deterministic in the spec."""
     trace = build_workload(spec.workload)
     scheduler, predictor, corrector = spec.build_components()
-    simulator = Simulator(
-        trace, scheduler, predictor, corrector, min_prediction=spec.min_prediction
+    session = SimSession(
+        trace.processors,
+        scheduler,
+        predictor,
+        corrector,
+        min_prediction=spec.min_prediction,
+        trace_name=trace.name,
     )
-    result = simulator.run()
+    session.feed(trace)
+    session.drain()
+    result = session.result()
     return RunOutcome(
         log=spec.workload.log,
         triple_key=spec.label,
@@ -98,7 +105,7 @@ def run_spec(spec: CellSpec) -> RunOutcome:
         avebsld=average_bounded_slowdown(result, spec.tau),
         utilization=result.utilization(),
         corrections=result.total_corrections(),
-        max_queue_length=simulator.stats.max_queue_length,
+        max_queue_length=session.stats.max_queue_length,
         spec_digest=spec.digest(),
     )
 
@@ -125,10 +132,17 @@ def run_triple_on_trace(
     bounded-slowdown threshold only enters when a caller aggregates it.)
     """
     scheduler, predictor, corrector = triple.build()
-    simulator = Simulator(
-        trace, scheduler, predictor, corrector, min_prediction=min_prediction
+    session = SimSession(
+        trace.processors,
+        scheduler,
+        predictor,
+        corrector,
+        min_prediction=min_prediction,
+        trace_name=trace.name,
     )
-    return simulator.run()
+    session.feed(trace)
+    session.drain()
+    return session.result()
 
 
 def run_triple(

@@ -142,7 +142,14 @@ def run_worker(
     idle_since: float | None = None
     try:
         while True:
-            if queue.has_signal("STOP"):
+            # Honour only a STOP posted after this worker started serving
+            # (the same filesystem-stamp freshness rule DONE gets below).
+            # A stale marker left by a failed campaign on a reused queue
+            # directory is the next coordinator's to clear -- a worker
+            # that deserts on sight of it races that cleanup and can
+            # leave the new campaign with no one to drain the queue.
+            stop_stamp = queue.signal_mtime("STOP")
+            if stop_stamp is not None and stop_stamp > start_stamp:
                 stats.reason = "stop"
                 break
             lease = queue.claim(worker_id)
@@ -161,10 +168,11 @@ def run_worker(
                     done_stamp = queue.signal_mtime("DONE")
                     fresh = done_stamp is not None and done_stamp >= start_stamp - 1.0
                     meta_generation = int(queue.read_meta().get("generation", 0))
-                    concluded = (
-                        int(done.get("generation", meta_generation))
-                        >= meta_generation
-                    )
+                    # A marker without a generation (legacy, or debris on
+                    # a reused directory) cannot prove it concludes the
+                    # current campaign; such workers keep waiting too.
+                    # The coordinator always stamps the generation.
+                    concluded = int(done.get("generation", -1)) >= meta_generation
                     if fresh and concluded:
                         stats.reason = "done"
                         break

@@ -41,7 +41,44 @@ class Predictor(ABC):
 
     @abstractmethod
     def predict(self, record: JobRecord, now: float) -> float:
-        """Predicted running time (seconds) for a job submitted at ``now``."""
+        """Predicted running time (seconds) for a job submitted at ``now``.
+
+        Called exactly once per job, at submission -- implementations may
+        register the submission in their history state.  Probes that must
+        not mutate anything (live-session ``query()``) go through
+        :meth:`estimate` instead.
+        """
+
+    def estimate(self, record: JobRecord, now: float) -> float:
+        """A **pure** prediction for query probes: no state is touched.
+
+        Sessions use this to answer "where would this job land?" without
+        the submission side effects of :meth:`predict`.  The default
+        returns the requested time (always a valid upper bound);
+        predictors with cheap read-only state override it.
+        """
+        return record.requested_time
+
+    def observe(self, job: Job, runtime: float, now: float) -> None:
+        """Learn from an *externally observed* completion.
+
+        Live-session entry point: keeps per-user state hot from jobs this
+        predictor never predicted (history replayed into a fresh serving
+        process, completions reported by a real cluster).  The default
+        routes through :meth:`on_finish` with the observed runtime
+        stamped onto a throwaway record; predictors that key updates on
+        their own submission-time state (e.g. pending feature vectors)
+        degrade gracefully to a history-only update.
+        """
+        if runtime <= 0:
+            raise ValueError(f"observed runtime must be > 0, got {runtime}")
+        observed = job.with_updates(
+            runtime=float(runtime),
+            requested_time=max(job.requested_time, float(runtime)),
+        )
+        record = JobRecord(job=observed)
+        record.predicted_runtime = observed.runtime
+        self.on_finish(record, now)
 
     def on_start(self, record: JobRecord, now: float) -> None:
         """A job began executing.  Default: nothing."""
@@ -98,13 +135,19 @@ class UserHistoryTracker:
         """Record an execution start."""
         self.state(job.user).running[job.job_id] = (now, job.processors)
 
-    def on_finish(self, job: Job, now: float) -> None:
-        """Record a completion (updates runtime history, running set)."""
+    def on_finish(self, job: Job, now: float, runtime: float | None = None) -> None:
+        """Record a completion (updates runtime history, running set).
+
+        ``runtime`` overrides ``job.runtime`` when the *observed* runtime
+        differs from the trace value (externally completed session jobs).
+        """
+        if runtime is None:
+            runtime = job.runtime
         state = self.state(job.user)
         state.running.pop(job.job_id, None)
-        state.recent_runtimes.append(job.runtime)
+        state.recent_runtimes.append(runtime)
         state.n_completed += 1
-        state.sum_runtimes += job.runtime
+        state.sum_runtimes += runtime
         state.last_completion = now
 
     # -- queries used by features and baseline predictors ----------------------

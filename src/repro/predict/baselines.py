@@ -27,6 +27,9 @@ class ClairvoyantPredictor(Predictor):
     def predict(self, record: JobRecord, now: float) -> float:
         return record.runtime
 
+    def estimate(self, record: JobRecord, now: float) -> float:
+        return record.runtime
+
 
 class RequestedTimePredictor(Predictor):
     """Predicts the user-requested upper bound (standard EASY behaviour)."""
@@ -58,8 +61,16 @@ class RecentAveragePredictor(Predictor):
             return record.requested_time
         return average
 
+    def estimate(self, record: JobRecord, now: float) -> float:
+        # read-only twin of predict(): no submission is registered
+        average = self._tracker.average_recent_runtime(record.job.user, self.k)
+        if average is None:
+            return record.requested_time
+        return average
+
     def on_start(self, record: JobRecord, now: float) -> None:
         self._tracker.on_start(record.job, now)
 
     def on_finish(self, record: JobRecord, now: float) -> None:
-        self._tracker.on_finish(record.job, now)
+        # record.runtime honours externally-observed completions
+        self._tracker.on_finish(record.job, now, record.runtime)

@@ -70,12 +70,23 @@ class MLPredictor(Predictor):
         raw = self._optimizer.predict(phi) * self.target_scale
         return float(np.clip(raw, 0.0, job.requested_time))
 
+    def estimate(self, record: JobRecord, now: float) -> float:
+        # read-only twin of predict(): the features are extracted against
+        # the current user history but no submission is registered and no
+        # pending label slot is created
+        job = record.job
+        phi = self._basis.expand(extract_features(job, self._tracker, now))
+        raw = self._optimizer.predict(phi) * self.target_scale
+        return float(np.clip(raw, 0.0, job.requested_time))
+
     def on_start(self, record: JobRecord, now: float) -> None:
         self._tracker.on_start(record.job, now)
 
     def on_finish(self, record: JobRecord, now: float) -> None:
         job = record.job
-        self._tracker.on_finish(job, now)
+        # record.runtime honours externally-observed completions
+        runtime = record.runtime
+        self._tracker.on_finish(job, now, runtime)
         phi = self._pending.pop(job.job_id, None)
         if phi is None:  # job predates this predictor (warm-started runs)
             return
@@ -88,9 +99,9 @@ class MLPredictor(Predictor):
         # AdaGrad normalisation.
         f_seconds = self._optimizer.predict(phi) * self.target_scale
         q = float(job.processors)
-        grad = self.loss.gradient(f_seconds, job.runtime, q)
+        grad = self.loss.gradient(f_seconds, runtime, q)
         self._optimizer.update(phi, grad)
-        self.cumulative_loss += self.loss.value(f_seconds, job.runtime, q)
+        self.cumulative_loss += self.loss.value(f_seconds, runtime, q)
         self.n_updates += 1
 
     # -- diagnostics -----------------------------------------------------------

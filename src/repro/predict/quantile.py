@@ -44,24 +44,33 @@ class QuantilePredictor(Predictor):
             return record.requested_time
         return estimate
 
+    def estimate(self, record: JobRecord, now: float) -> float:
+        # read-only twin of predict(): no submission is registered
+        estimate = self._estimate.get(record.job.user)
+        if estimate is None:
+            return record.requested_time
+        return estimate
+
     def on_start(self, record: JobRecord, now: float) -> None:
         self._tracker.on_start(record.job, now)
 
     def on_finish(self, record: JobRecord, now: float) -> None:
         job = record.job
-        self._tracker.on_finish(job, now)
+        # record.runtime honours externally-observed completions
+        runtime = record.runtime
+        self._tracker.on_finish(job, now, runtime)
         user = job.user
         current = self._estimate.get(user)
         if current is None:
             # initialise below the first observation, per the quantile bias
-            self._estimate[user] = job.runtime * self.quantile
+            self._estimate[user] = runtime * self.quantile
             return
         state = self._tracker.state(user)
         scale = max(
             state.sum_runtimes / max(1, state.n_completed), 1.0
         )
         step = self.eta * scale
-        if job.runtime > current:
+        if runtime > current:
             current += step * self.quantile
         else:
             current -= step * (1.0 - self.quantile)

@@ -10,9 +10,10 @@ and the machine's predicted-release profile -- never actual runtimes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..sim.machine import Machine
+from ..sim.profile import AvailabilityProfile
 from ..sim.results import JobRecord
 
 __all__ = ["Scheduler"]
@@ -58,6 +59,14 @@ class Scheduler(ABC):
         for record in records:
             self.on_correction(record)
 
+    def on_machine_change(self, now: float, machine: Machine) -> None:
+        """The machine's capacity changed (drain/restore).  Default: nothing.
+
+        Schedulers that cache availability derived from the machine's
+        free count (not just the running set) must refresh it here; the
+        count-based ``in_sync_with`` checks cannot see capacity moves.
+        """
+
     @abstractmethod
     def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
         """Jobs to start at ``now``.
@@ -66,6 +75,53 @@ class Scheduler(ABC):
         must only return jobs that fit the machine *in the order given*
         (the engine starts them sequentially and will raise otherwise).
         """
+
+    # -- session queries -----------------------------------------------------
+    def estimated_starts(
+        self,
+        now: float,
+        machine: Machine,
+        extra: Sequence[JobRecord] = (),
+    ) -> dict[int, float]:
+        """Side-effect-free start estimates for the waiting jobs.
+
+        Gives every waiting job (plus any ``extra`` hypothetical records,
+        appended behind the queue) a reservation in queue-priority order
+        on the predicted availability profile, and returns each job's
+        reserved start -- conservative backfilling's exact allocation,
+        and for EASY-family schedulers the guaranteed-start bound that
+        generalises the head's shadow time.  The default recomputes the
+        profile from the machine; structure-backed schedulers override
+        this to serve it from their incremental state.
+        """
+        profile = AvailabilityProfile.from_releases(
+            machine.processors, now, machine.free, machine.predicted_releases(now)
+        )
+        return self._reserve_in_order(profile, (*self.queue, *extra), now)
+
+    @staticmethod
+    def _reserve_in_order(
+        profile: AvailabilityProfile,
+        records: Iterable[JobRecord],
+        now: float,
+    ) -> dict[int, float]:
+        """Reserve each record at its earliest fit, in the order given.
+
+        A record wider than the profile's steady-state capacity (possible
+        only when processors are drained on a live session) is *held*: it
+        gets ``inf`` and takes no reservation.
+        """
+        starts: dict[int, float] = {}
+        for record in records:
+            if record.processors > profile.terminal_available:
+                starts[record.job_id] = float("inf")
+                continue
+            start = profile.earliest_fit(
+                record.processors, record.predicted_runtime, not_before=now
+            )
+            profile.reserve(start, record.predicted_runtime, record.processors)
+            starts[record.job_id] = start
+        return starts
 
     # -- introspection -------------------------------------------------------
     @property

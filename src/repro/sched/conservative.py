@@ -89,6 +89,34 @@ class ConservativeScheduler(Scheduler):
             [(r.job_id, r.start_time + r.predicted_runtime) for r in records]
         )
 
+    def on_machine_change(self, now, machine) -> None:
+        # drains/restores change the baseline free count the incremental
+        # profile was seeded with; the count-based sync check cannot see
+        # that, so rebuild from the machine outright
+        if self._base is not None:
+            self._base.resync(machine, now)
+
+    # -- session queries ------------------------------------------------------
+    def estimated_starts(self, now, machine, extra=()):
+        """Exact reservation starts, in this scheduler's own order.
+
+        Conservative backfilling *is* a reservation-per-job policy, so
+        the session query reproduces ``select_jobs``'s allocation: the
+        incremental profile snapshot plus one reservation per waiting job
+        in ``reservation_order``.  With exact predictions the estimate
+        equals the start the job will really get.
+        """
+        from ..sim.profile import AvailabilityProfile
+
+        if self._base is not None and self._delta_fed and self._base.in_sync_with(machine):
+            profile = self._base.snapshot(now)
+        else:
+            profile = AvailabilityProfile.from_releases(
+                machine.processors, now, machine.free, machine.predicted_releases(now)
+            )
+        ordered = order_queue(self._queue, self.reservation_order)
+        return self._reserve_in_order(profile, (*ordered, *extra), now)
+
     def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
         if not self._queue:
             return []
@@ -104,6 +132,9 @@ class ConservativeScheduler(Scheduler):
         if self._order_cache is None:
             self._order_cache = order_queue(self._queue, self.reservation_order)
         for record in self._order_cache:
+            if record.processors > profile.terminal_available:
+                # wider than the undrained capacity: held until a restore
+                continue
             start = profile.earliest_fit(
                 record.processors, record.predicted_runtime, not_before=now
             )

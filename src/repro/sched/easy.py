@@ -124,6 +124,20 @@ class EasyScheduler(Scheduler):
             [(r.job_id, r.start_time + r.predicted_runtime) for r in records]
         )
 
+    # -- session queries ------------------------------------------------------
+    def estimated_starts(self, now, machine, extra=()):
+        """Guaranteed-start estimates served from the release table.
+
+        Same reservation-in-queue-order semantics as the base
+        implementation, but the availability profile is built from the
+        incrementally-sorted :class:`ReleaseTable` instead of re-sorting
+        the machine's running set on every query.
+        """
+        if not self._delta_fed or not self._releases.in_sync_with(machine):
+            return super().estimated_starts(now, machine, extra)
+        profile = self._releases.as_profile(machine.processors, now, machine.free)
+        return self._reserve_in_order(profile, (*self.queue, *extra), now)
+
     def select_jobs(self, now: float, machine: Machine) -> list[JobRecord]:
         started: list[JobRecord] = []
         free = machine.free
@@ -144,6 +158,11 @@ class EasyScheduler(Scheduler):
             # driven outside the engine (unit tests): rebuild from state
             self._releases.resync(machine)
         head = self._queue[0]
+        if head.processors > machine.processors - machine.drained:
+            # The head is wider than the undrained capacity (live-session
+            # drains only): no reservation exists, and backfilling without
+            # one would starve it, so the whole queue holds for a restore.
+            return started
         shadow, extra = self._releases.shadow(
             head.processors,
             free,

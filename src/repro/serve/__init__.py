@@ -1,0 +1,15 @@
+"""Simulation-as-a-service: a long-running front end over a SimSession.
+
+``repro serve`` keeps one live :class:`repro.sim.session.SimSession`
+open and speaks a JSON-lines protocol on stdin/stdout -- one request
+object per line in, one response object per line out.  Per-user
+predictor state stays hot across the whole connection (online updates on
+every completion, including externally-observed ones), so "when will
+this job start?" queries are answered from warm state in microseconds.
+
+See :mod:`repro.serve.server` for the command reference.
+"""
+
+from .server import SessionServer, ServeStats, build_serve_session, serve_loop
+
+__all__ = ["SessionServer", "ServeStats", "build_serve_session", "serve_loop"]

@@ -1,0 +1,292 @@
+"""The ``repro serve`` line protocol: JSONL requests over a live session.
+
+Every request is one JSON object per line with a ``cmd`` field; every
+response is one JSON object per line with ``ok`` (bool) and the echoed
+``cmd``.  Malformed requests produce ``{"ok": false, "error": ...}``
+without killing the connection.  Commands:
+
+``submit``
+    ``{"cmd": "submit", "job": {...}}`` -- feed a job.  Job fields:
+    ``job_id``, ``submit_time``, ``processors``, ``requested_time``
+    required; ``runtime`` optional (defaults to the requested time --
+    the serving analogue of "unknown until observed"; report the truth
+    later with ``complete``); ``user`` and other SWF metadata optional.
+``advance``
+    ``{"cmd": "advance", "time": T}`` -- process everything up to and
+    including T and move the clock there.
+``step``
+    process the next pending timestamp, if any.
+``drain``
+    process every pending event (run the simulation dry).
+``query``
+    ``{"cmd": "query", "job_id": N}`` or ``{"cmd": "query", "job":
+    {...}}`` (hypothetical probe).  Responds with the estimated start,
+    wait, state, and the server-side ``elapsed_us`` spent answering.
+``complete``
+    ``{"cmd": "complete", "job_id": N, "time": T}`` -- a running job
+    really finished at T (external truth overriding the simulated
+    runtime); the predictor learns from the observation.
+``observe``
+    ``{"cmd": "observe", "job": {...}, "runtime": R}`` -- predictor-only
+    online update from a completion the session never scheduled (history
+    warm-up).
+``machine``
+    ``{"cmd": "machine", "kind": "drain"|"restore", "processors": K,
+    "time": T?}`` -- capacity event (T defaults to now).
+``snapshot``
+    queue/machine/counter state.
+``result``
+    per-finished-job ``[job_id, start_time, end_time]`` rows (sorted),
+    for diffing against a batch run.
+``stats`` / ``ping`` / ``quit``
+    engine counters / no-op round-trip / end the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time as _time
+from dataclasses import dataclass, fields
+from typing import IO, Any
+
+from ..sim.session import MachineEvent, MonotonicityError, SimSession
+from ..workload.job import Job
+
+__all__ = ["SessionServer", "ServeStats", "build_serve_session", "serve_loop"]
+
+#: Job fields accepted from the wire (everything the dataclass carries).
+_JOB_FIELDS = frozenset(f.name for f in fields(Job))
+_REQUIRED_JOB_FIELDS = ("job_id", "submit_time", "processors", "requested_time")
+
+
+@dataclass
+class ServeStats:
+    """Connection-level counters, reported when the loop ends."""
+
+    n_requests: int = 0
+    n_errors: int = 0
+    n_submitted: int = 0
+    n_queries: int = 0
+
+
+def build_serve_session(
+    processors: int,
+    scheduler: str = "easy-sjbf",
+    predictor: str = "ave2",
+    corrector: str | None = "incremental",
+    min_prediction: float = 60.0,
+    name: str = "serve",
+) -> SimSession:
+    """Wire a live session from component registry names."""
+    from ..correct import make_corrector
+    from ..predict import make_predictor
+    from ..sched import make_scheduler
+
+    built_corrector = None
+    if corrector and corrector != "none":
+        built_corrector = make_corrector(corrector)
+    return SimSession(
+        processors,
+        make_scheduler(scheduler),
+        make_predictor(predictor),
+        built_corrector,
+        min_prediction=min_prediction,
+        trace_name=name,
+    )
+
+
+def _parse_job(payload: Any) -> Job:
+    if not isinstance(payload, dict):
+        raise ValueError("job must be an object of SWF-style fields")
+    unknown = set(payload) - _JOB_FIELDS
+    if unknown:
+        raise ValueError(f"unknown job field(s): {', '.join(sorted(unknown))}")
+    missing = [f for f in _REQUIRED_JOB_FIELDS if f not in payload]
+    if missing:
+        raise ValueError(f"job is missing required field(s): {', '.join(missing)}")
+    data = dict(payload)
+    # serving analogue of "runtime unknown until observed": schedule as if
+    # the job runs to its requested bound, correct via `complete` later
+    data.setdefault("runtime", data["requested_time"])
+    return Job(**data)
+
+
+class SessionServer:
+    """Dispatches parsed protocol commands onto one live session."""
+
+    def __init__(self, session: SimSession) -> None:
+        self.session = session
+        self.stats = ServeStats()
+        self.closed = False
+
+    # -- entry points --------------------------------------------------------
+    def handle_line(self, line: str) -> dict | None:
+        """One protocol round: JSON line in, response object out.
+
+        Blank lines are ignored (returns None).  Any error -- parse,
+        validation, or session -- becomes an ``ok: false`` response.
+        """
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.stats.n_errors += 1
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        return self.handle(request)
+
+    def handle(self, request: Any) -> dict:
+        self.stats.n_requests += 1
+        if not isinstance(request, dict) or "cmd" not in request:
+            self.stats.n_errors += 1
+            return {"ok": False, "error": "request must be an object with a 'cmd'"}
+        cmd = request["cmd"]
+        handler = getattr(self, f"_cmd_{cmd}", None)
+        if handler is None:
+            self.stats.n_errors += 1
+            return {"ok": False, "cmd": cmd, "error": f"unknown command {cmd!r}"}
+        try:
+            response = handler(request)
+        except (ValueError, KeyError, TypeError, MonotonicityError) as exc:
+            self.stats.n_errors += 1
+            return {"ok": False, "cmd": cmd, "error": str(exc)}
+        response.setdefault("ok", True)
+        response.setdefault("cmd", cmd)
+        response.setdefault("now", self.session.now)
+        return response
+
+    # -- commands ------------------------------------------------------------
+    def _cmd_submit(self, request: dict) -> dict:
+        job = _parse_job(request.get("job"))
+        self.session.feed(job)
+        self.stats.n_submitted += 1
+        if request.get("advance"):
+            self.session.advance_to(job.submit_time)
+        return {"job_id": job.job_id, "queued_at": job.submit_time}
+
+    def _cmd_advance(self, request: dict) -> dict:
+        if "time" not in request:
+            raise ValueError("advance needs a 'time'")
+        steps = self.session.advance_to(float(request["time"]))
+        return {"steps": steps}
+
+    def _cmd_step(self, request: dict) -> dict:
+        processed = self.session.step()
+        return {"processed": processed}
+
+    def _cmd_drain(self, request: dict) -> dict:
+        steps = self.session.drain()
+        return {"steps": steps}
+
+    def _cmd_query(self, request: dict) -> dict:
+        t0 = _time.perf_counter()
+        if "job_id" in request:
+            answer = self.session.query(job_id=int(request["job_id"]))
+        elif "job" in request:
+            answer = self.session.query(_parse_job(request["job"]))
+        else:
+            raise ValueError("query needs a 'job_id' or a 'job'")
+        elapsed_us = (_time.perf_counter() - t0) * 1e6
+        self.stats.n_queries += 1
+        # a held job (wider than the undrained capacity) estimates inf,
+        # which strict JSON cannot carry: send null instead
+        finite = math.isfinite(answer.start_time)
+        return {
+            "job_id": answer.job_id,
+            "state": answer.state,
+            "start": answer.start_time if finite else None,
+            "wait": answer.wait if finite else None,
+            "predicted_runtime": answer.predicted_runtime,
+            "elapsed_us": round(elapsed_us, 2),
+        }
+
+    def _cmd_complete(self, request: dict) -> dict:
+        if "job_id" not in request:
+            raise ValueError("complete needs a 'job_id'")
+        when = request.get("time")
+        record = self.session.complete(
+            int(request["job_id"]), None if when is None else float(when)
+        )
+        return {
+            "job_id": record.job_id,
+            "start": record.start_time,
+            "end": record.end_time,
+            "runtime": record.runtime,
+        }
+
+    def _cmd_observe(self, request: dict) -> dict:
+        if "runtime" not in request:
+            raise ValueError("observe needs a 'runtime'")
+        job = _parse_job(request.get("job"))
+        self.session.observe_completion(job, float(request["runtime"]))
+        return {"job_id": job.job_id}
+
+    def _cmd_machine(self, request: dict) -> dict:
+        event = MachineEvent(
+            time=float(request.get("time", self.session.now)),
+            kind=request.get("kind", ""),
+            processors=int(request.get("processors", 0)),
+        )
+        self.session.feed_machine_event(event)
+        return {"kind": event.kind, "processors": event.processors, "at": event.time}
+
+    def _cmd_snapshot(self, request: dict) -> dict:
+        snap = self.session.snapshot()
+        return {
+            "processors": snap.processors,
+            "free": snap.free,
+            "drained": snap.drained,
+            "n_waiting": len(snap.waiting),
+            "n_running": len(snap.running),
+            "n_finished": snap.n_finished,
+            "n_pending_events": snap.n_pending_events,
+            "waiting": [list(w) for w in snap.waiting],
+            "running": [list(r) for r in snap.running],
+            "scheduler": snap.scheduler,
+            "predictor": snap.predictor,
+            "corrector": snap.corrector,
+        }
+
+    def _cmd_result(self, request: dict) -> dict:
+        result = self.session.result(partial=True)
+        rows = sorted((r.job_id, r.start_time, r.end_time) for r in result)
+        return {"jobs": [list(row) for row in rows]}
+
+    def _cmd_stats(self, request: dict) -> dict:
+        stats = self.session.stats
+        return {
+            "n_events": stats.n_events,
+            "n_scheduling_passes": stats.n_scheduling_passes,
+            "n_corrections": stats.n_corrections,
+            "max_queue_length": stats.max_queue_length,
+            "n_jobs": self.session.n_jobs,
+        }
+
+    def _cmd_ping(self, request: dict) -> dict:
+        return {"pong": True}
+
+    def _cmd_quit(self, request: dict) -> dict:
+        self.closed = True
+        return {"bye": True}
+
+
+def serve_loop(
+    session: SimSession, in_stream: IO[str], out_stream: IO[str]
+) -> ServeStats:
+    """Run the JSONL request/response loop until quit or EOF.
+
+    One response line is written (and flushed) per non-blank request
+    line, so pipe-driven clients can operate in lockstep.
+    """
+    server = SessionServer(session)
+    for line in in_stream:
+        response = server.handle_line(line)
+        if response is None:
+            continue
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+        if server.closed:
+            break
+    return server.stats

@@ -1,10 +1,23 @@
-"""Event-driven scheduler simulator (pyss equivalent)."""
+"""Event-driven scheduler simulator (pyss equivalent).
+
+Two entry styles: the batch wrappers (:class:`Simulator`,
+:func:`simulate`) drain a finished trace, and :class:`SimSession` is the
+same engine opened up for incremental feeding, live queries and machine
+events (the streaming simulation-as-a-service substrate).
+"""
 
 from .engine import EngineStats, Simulator, simulate
 from .events import Event, EventQueue, EventType
 from .machine import Machine, RunningJob
 from .profile import AvailabilityProfile
 from .results import JobRecord, SimulationResult
+from .session import (
+    EstimatedStart,
+    MachineEvent,
+    MonotonicityError,
+    SessionSnapshot,
+    SimSession,
+)
 from .timeline import (
     ascii_timeline,
     occupancy_timeline,
@@ -16,6 +29,11 @@ __all__ = [
     "EngineStats",
     "Simulator",
     "simulate",
+    "SimSession",
+    "EstimatedStart",
+    "SessionSnapshot",
+    "MachineEvent",
+    "MonotonicityError",
     "Event",
     "EventQueue",
     "EventType",

@@ -1,11 +1,16 @@
-"""The discrete-event scheduling simulator.
+"""The discrete-event scheduling simulator (batch entry points).
 
 Drives a trace through a scheduler with a predictor and a correction
 mechanism -- the "heuristic triple" of the paper.  The engine is the only
 component that knows actual runtimes; schedulers see predictions, and
 predictors learn only from completions.
 
-Event loop semantics (matching pyss and the paper's on-line setting):
+The event loop itself lives in :class:`repro.sim.session.SimSession`,
+the incremental streaming API; :class:`Simulator` and :func:`simulate`
+are thin batch shims that feed a whole trace into a fresh session and
+drain it.  The loop semantics (matching pyss and the paper's on-line
+setting) are unchanged -- schedules are byte-identical to the pre-session
+engine, so ``ENGINE_VERSION`` did not move:
 
 * all events at one timestamp are processed before any scheduling
   decision, in FINISH < EXPIRE < SUBMIT order;
@@ -25,13 +30,13 @@ Event loop semantics (matching pyss and the paper's on-line setting):
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..workload.trace import Trace
-from .events import Event, EventQueue, EventType
-from .machine import Machine
-from .results import JobRecord, SimulationResult
+from .results import SimulationResult
+from .session import SimSession
 
 if TYPE_CHECKING:  # imported for type hints only; avoids an import cycle
     from ..correct.base import Corrector
@@ -42,8 +47,16 @@ __all__ = ["Simulator", "EngineStats", "simulate", "ENGINE_VERSION"]
 
 #: Bumped whenever engine or scheduler semantics could change simulation
 #: outcomes; campaign cache keys embed it so stale results never survive
-#: an engine change.  Version 2: incremental profile-based scheduling.
+#: an engine change.  Version 2: incremental profile-based scheduling
+#: (the session refactor kept schedules byte-identical, so no bump).
 ENGINE_VERSION = 2
+
+#: Internals that moved to :class:`SimSession`; accessing them on a
+#: Simulator is deprecated and delegates to the most recent session.
+_SESSION_INTERNALS = frozenset(
+    {"_handle_submit", "_handle_finish", "_handle_expire", "_push_expiry",
+     "_schedule_pass"}
+)
 
 
 @dataclass
@@ -57,7 +70,13 @@ class EngineStats:
 
 
 class Simulator:
-    """One simulation = trace x scheduler x predictor x corrector."""
+    """One simulation = trace x scheduler x predictor x corrector.
+
+    Batch compatibility wrapper: :meth:`run` feeds the whole trace into a
+    fresh :class:`~repro.sim.session.SimSession` and drains it.  Code
+    that needs incremental feeding, live queries or machine events should
+    hold a session directly.
+    """
 
     def __init__(
         self,
@@ -75,130 +94,49 @@ class Simulator:
         self.corrector = corrector
         self.min_prediction = float(min_prediction)
         self.stats = EngineStats()
+        self._session: SimSession | None = None
+
+    def session(self) -> SimSession:
+        """A fresh session wired with this simulator's components."""
+        session = SimSession(
+            self.trace.processors,
+            self.scheduler,
+            self.predictor,
+            self.corrector,
+            min_prediction=self.min_prediction,
+            trace_name=self.trace.name,
+        )
+        self._session = session
+        self.stats = session.stats
+        return session
 
     def run(self) -> SimulationResult:
         """Execute the full trace; returns when every job has completed."""
-        machine = Machine(self.trace.processors)
-        events = EventQueue()
-        records: dict[int, JobRecord] = {}
-        for job in self.trace:
-            records[job.job_id] = JobRecord(job=job)
-            events.push(Event(time=job.submit_time, kind=EventType.SUBMIT, job_id=job.job_id))
+        session = self.session()
+        session.feed(self.trace)
+        session.drain()
+        return session.result()
 
-        corrected: list[JobRecord] = []
-        while events:
-            now = events.peek_time()
-            for event in events.drain_time(now):
-                self.stats.n_events += 1
-                if event.kind is EventType.SUBMIT:
-                    self._handle_submit(records[event.job_id], now)
-                elif event.kind is EventType.FINISH:
-                    self._handle_finish(records[event.job_id], machine, now)
-                else:  # EXPIRE
-                    self._handle_expire(
-                        event, records[event.job_id], machine, events, now, corrected
-                    )
-            if corrected:
-                # one scheduler notification per timestamp: a correction
-                # storm costs one structure re-sort/rebuild, not one per job
-                self.scheduler.on_corrections(corrected)
-                corrected.clear()
-            self._schedule_pass(machine, events, now)
-
-        result = SimulationResult(
-            records.values(),
-            machine_processors=self.trace.processors,
-            trace_name=self.trace.name,
-            scheduler_name=self.scheduler.name,
-            predictor_name=self.predictor.name,
-            corrector_name=self.corrector.name if self.corrector else "none",
-        )
-        return result
-
-    # -- event handlers -----------------------------------------------------
-    def _handle_submit(self, record: JobRecord, now: float) -> None:
-        raw = float(self.predictor.predict(record, now))
-        if raw != raw or raw in (float("inf"), float("-inf")):
-            raise ValueError(
-                f"predictor {self.predictor.name!r} returned a non-finite "
-                f"prediction for job {record.job_id}"
+    def __getattr__(self, name: str):
+        # Legacy event-handler internals live on the session now; keep
+        # them reachable (with a warning) for out-of-tree pokers.
+        if name in _SESSION_INTERNALS:
+            warnings.warn(
+                f"Simulator.{name} moved to repro.sim.session.SimSession; "
+                "drive a session directly instead of Simulator internals",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        record.raw_prediction = raw
-        clamped = min(max(raw, self.min_prediction), record.requested_time)
-        record.initial_prediction = clamped
-        record.predicted_runtime = clamped
-        self.scheduler.on_submit(record)
-        self.stats.max_queue_length = max(
-            self.stats.max_queue_length, self.scheduler.queue_length
-        )
-
-    def _handle_finish(self, record: JobRecord, machine: Machine, now: float) -> None:
-        machine.finish(record.job_id, now)
-        self.predictor.on_finish(record, now)
-        self.scheduler.on_finish(record)
-
-    def _handle_expire(
-        self,
-        event: Event,
-        record: JobRecord,
-        machine: Machine,
-        events: EventQueue,
-        now: float,
-        corrected: list[JobRecord],
-    ) -> None:
-        if not machine.is_running(record.job_id):
-            return  # stale: the job already finished
-        if event.version != record.version:
-            return  # stale: the prediction was corrected since
-        if self.corrector is None:
-            raise RuntimeError(
-                f"job {record.job_id} under-predicted at t={now} but no "
-                "correction mechanism is configured"
-            )
-        elapsed = now - record.start_time
-        new_prediction = float(self.corrector.correct(record, now))
-        # Contract enforcement: progress past the elapsed time, capped by
-        # the requested time which upper-bounds any feasible runtime.
-        new_prediction = min(
-            max(new_prediction, elapsed + 1.0), record.requested_time
-        )
-        record.corrections += 1
-        record.version += 1
-        record.predicted_runtime = new_prediction
-        self.stats.n_corrections += 1
-        # the scheduler hears about the whole timestamp's corrections at
-        # once (Scheduler.on_corrections), after the event drain
-        corrected.append(record)
-        self._push_expiry(record, events)
-
-    def _push_expiry(self, record: JobRecord, events: EventQueue) -> None:
-        """Schedule the next expiry if the prediction is still too small."""
-        if record.predicted_runtime < record.runtime:
-            events.push(
-                Event(
-                    time=record.start_time + record.predicted_runtime,
-                    kind=EventType.EXPIRE,
-                    job_id=record.job_id,
-                    version=record.version,
+            session = self.__dict__.get("_session")
+            if session is None:
+                raise AttributeError(
+                    f"Simulator.{name} is only available after run() started "
+                    "a session (and is deprecated; use SimSession)"
                 )
-            )
-
-    # -- scheduling ---------------------------------------------------------
-    def _schedule_pass(self, machine: Machine, events: EventQueue, now: float) -> None:
-        self.stats.n_scheduling_passes += 1
-        started = self.scheduler.select_jobs(now, machine)
-        for record in started:
-            machine.start(record, now)
-            self.scheduler.on_start(record, now)
-            self.predictor.on_start(record, now)
-            events.push(
-                Event(
-                    time=now + record.runtime,
-                    kind=EventType.FINISH,
-                    job_id=record.job_id,
-                )
-            )
-            self._push_expiry(record, events)
+            return getattr(session, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
 
 def simulate(
@@ -208,7 +146,7 @@ def simulate(
     corrector: Corrector | None = None,
     min_prediction: float = 60.0,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    """Convenience wrapper: one batch run over a session."""
     return Simulator(
         trace,
         scheduler,

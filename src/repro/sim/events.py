@@ -1,16 +1,39 @@
 """Event types and the event queue driving the simulation.
 
-The simulator is a classic discrete-event loop.  Three event kinds exist:
+The simulator is a classic discrete-event loop.  Four event kinds exist:
 
 * ``SUBMIT``  -- a job is released into the waiting queue (``r_j``);
 * ``FINISH``  -- a running job really completes (engine-side knowledge);
 * ``EXPIRE``  -- a running job reaches its *predicted* end without having
   finished: the prediction was too small and the correction mechanism
-  (paper Section 5.2) must produce a new one.
+  (paper Section 5.2) must produce a new one;
+* ``MACHINE`` -- a capacity change (node drain/restore) fed into a live
+  :class:`~repro.sim.session.SimSession`; never used by batch replay.
 
-Events at the same timestamp are processed ``FINISH`` < ``EXPIRE`` <
-``SUBMIT`` so that resources freed at time *t* are visible to jobs
-submitted at *t*, and corrections see the machine after completions.
+Same-timestamp ordering contract (asserted by tests and relied on for
+batch/streaming equivalence)
+----------------------------------------------------------------------
+
+Events at one timestamp are totally ordered by ``(kind, seq)`` where
+``seq`` is a strictly increasing insertion counter shared across kinds:
+
+1. ``FINISH`` before ``EXPIRE`` before ``SUBMIT`` before ``MACHINE``, so
+   resources freed at time *t* are visible to jobs submitted at *t*,
+   corrections see the machine after completions, and capacity changes
+   land after every job event of the instant (but before the instant's
+   scheduling pass);
+2. within one kind, insertion order.  Two submissions at the same
+   instant are processed in the order they were pushed -- i.e. trace
+   order -- otherwise FCFS priority would depend on heap internals.
+
+Because ``kind`` dominates ``seq``, the ordering is *feed-schedule
+independent*: a batch replay that pushes every SUBMIT up front and a
+streaming session that interleaves ``feed()`` with ``step()`` produce
+the same processing order, provided jobs are fed in trace order and
+never behind the clock.  The queue enforces the second half itself: it
+tracks the largest timestamp ever popped (the *floor*) and rejects any
+push behind it, so a desynchronised feeder fails loudly instead of
+silently diverging from batch replay.
 
 ``EXPIRE`` events can become stale (the prediction was corrected again,
 or the job finished first); each carries the prediction *version* it was
@@ -33,11 +56,16 @@ class EventType(IntEnum):
     FINISH = 0
     EXPIRE = 1
     SUBMIT = 2
+    MACHINE = 3
 
 
 @dataclass(frozen=True, slots=True)
 class Event:
-    """A scheduled simulation event."""
+    """A scheduled simulation event.
+
+    ``job_id`` identifies the job for job events; for ``MACHINE`` events
+    it is the session's machine-event sequence number instead.
+    """
 
     time: float
     kind: EventType
@@ -46,20 +74,31 @@ class Event:
     version: int = 0
 
     def sort_key(self, seq: int) -> tuple[float, int, int]:
+        """The queue's total order: time, then kind, then insertion seq."""
         return (self.time, int(self.kind), seq)
 
 
 class EventQueue:
-    """A stable priority queue of events.
+    """A stable priority queue of events with a monotonic time floor.
 
     Stability matters: two submissions at the same instant must be
     processed in insertion (i.e. trace) order, otherwise FCFS priority
-    would depend on heap internals.
+    would depend on heap internals.  See the module docstring for the
+    full same-timestamp ordering contract.
+
+    The queue also asserts monotonicity: once an event at time *t* has
+    been popped, pushing any event earlier than *t* raises.  Batch
+    replay never trips this (all SUBMITs are pushed up front and
+    FINISH/EXPIRE always land in the future); it exists so a streaming
+    feeder that falls behind the clock cannot diverge from batch replay
+    silently.
     """
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: largest timestamp ever popped; pushes behind it are rejected.
+        self._floor = float("-inf")
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -67,18 +106,30 @@ class EventQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    @property
+    def floor(self) -> float:
+        """The monotonic time floor (largest timestamp ever popped)."""
+        return self._floor
+
     def push(self, event: Event) -> None:
         """Add an event; events never change once pushed."""
         if event.time < 0:
             raise ValueError(f"event time must be >= 0, got {event.time}")
-        heapq.heappush(self._heap, (event.time, int(event.kind), self._seq, event))
+        if event.time < self._floor:
+            raise ValueError(
+                f"event at t={event.time} is behind the queue's processed "
+                f"floor t={self._floor}; streaming feeds must be monotonic"
+            )
+        heapq.heappush(self._heap, event.sort_key(self._seq) + (event,))
         self._seq += 1
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
-        return heapq.heappop(self._heap)[3]
+        event = heapq.heappop(self._heap)[3]
+        self._floor = event.time
+        return event
 
     def peek(self) -> Event:
         """Return the earliest event without removing it."""

@@ -48,10 +48,15 @@ class Machine:
             raise ValueError(f"machine must have > 0 processors, got {processors}")
         self.processors = int(processors)
         self.free = int(processors)
+        #: processors taken offline by drain events (live sessions only).
+        self.drained = 0
         self._running: dict[int, RunningJob] = {}
 
     def __repr__(self) -> str:
-        return f"Machine(m={self.processors}, free={self.free}, running={len(self._running)})"
+        return (
+            f"Machine(m={self.processors}, free={self.free}, "
+            f"drained={self.drained}, running={len(self._running)})"
+        )
 
     @property
     def running(self) -> Iterable[RunningJob]:
@@ -98,6 +103,35 @@ class Machine:
         run.record.end_time = now
         return run.record
 
+    # -- capacity events (live sessions) ------------------------------------
+    def drain(self, processors: int) -> None:
+        """Take currently-*free* processors offline (node drain).
+
+        Mirrors a resource manager that waits for nodes to empty before
+        draining them: a drain wider than the free pool is rejected.
+        """
+        if processors <= 0:
+            raise ValueError(f"drained processors must be > 0, got {processors}")
+        if processors > self.free:
+            raise ValueError(
+                f"cannot drain {processors} processors: only {self.free} free "
+                f"(drain waits for busy nodes to empty)"
+            )
+        self.free -= processors
+        self.drained += processors
+
+    def restore(self, processors: int) -> None:
+        """Bring drained processors back online."""
+        if processors <= 0:
+            raise ValueError(f"restored processors must be > 0, got {processors}")
+        if processors > self.drained:
+            raise ValueError(
+                f"cannot restore {processors} processors: only "
+                f"{self.drained} drained"
+            )
+        self.drained -= processors
+        self.free += processors
+
     def is_running(self, job_id: int) -> bool:
         return job_id in self._running
 
@@ -120,7 +154,8 @@ class Machine:
     def check_invariants(self) -> None:
         """Assert conservation of processors (used by tests)."""
         used = sum(run.processors for run in self._running.values())
-        if used + self.free != self.processors:
+        if used + self.free + self.drained != self.processors:
             raise AssertionError(
-                f"processor leak: used={used} free={self.free} m={self.processors}"
+                f"processor leak: used={used} free={self.free} "
+                f"drained={self.drained} m={self.processors}"
             )

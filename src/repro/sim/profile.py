@@ -52,6 +52,16 @@ class AvailabilityProfile:
         self._apply_delta(time, math.inf, processors)
 
     # -- queries --------------------------------------------------------------
+    @property
+    def terminal_available(self) -> int:
+        """Availability of the infinite final segment (steady state).
+
+        Equals the machine size minus any drained capacity: every running
+        job eventually releases, but drained processors never do.  A job
+        wider than this can never fit on the profile.
+        """
+        return self._avail[-1]
+
     def available_at(self, time: float) -> int:
         """Free processors at ``time`` (>= profile start)."""
         if time < self._times[0]:

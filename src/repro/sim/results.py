@@ -36,6 +36,10 @@ class JobRecord:
     version: int = 0
     start_time: float = -1.0
     end_time: float = -1.0
+    #: actual runtime reported from *outside* the simulation (a live
+    #: session's ``complete`` command); None on the batch path, where the
+    #: trace's a-posteriori runtime is authoritative.
+    observed_runtime: float | None = None
 
     # -- convenient job field proxies -------------------------------------
     @property
@@ -48,6 +52,8 @@ class JobRecord:
 
     @property
     def runtime(self) -> float:
+        if self.observed_runtime is not None:
+            return self.observed_runtime
         return self.job.runtime
 
     @property

@@ -1,0 +1,553 @@
+"""Incremental simulation sessions: the engine as a streaming API.
+
+The batch entry points (:class:`repro.sim.engine.Simulator` and
+:func:`repro.sim.engine.simulate`) drain a finished trace and exit.  A
+:class:`SimSession` is the same event loop opened up for *live* use: jobs,
+externally-observed completions and machine capacity events can be fed in
+while the session runs, time advances monotonically under caller control,
+and "when will this job start?" queries are answered from the current
+availability profile without mutating any scheduling state.
+
+The loop body is byte-for-byte the batch semantics (the batch wrappers
+are now thin shims over a session), so a session that is fed a whole
+trace and drained produces schedules identical to ``Simulator.run()``:
+
+* all events at one timestamp are processed before any scheduling
+  decision, in FINISH < EXPIRE < SUBMIT < MACHINE order (see
+  :mod:`repro.sim.events` for the full tie-breaking contract);
+* one scheduling pass runs after each batch of events;
+* a running job whose *predicted* end passes without completion triggers
+  the correction mechanism; corrections landing on one timestamp are
+  reported to the scheduler as one batch;
+* predictions are clamped to ``[min_prediction, requested_time]``.
+
+Monotonic time
+--------------
+
+``session.now`` never goes backwards.  ``feed()`` rejects jobs submitted
+behind the clock, ``advance_to()`` rejects a target behind the clock,
+and the event queue itself asserts the same floor -- so a streaming feed
+cannot silently diverge from what a batch replay of the same jobs would
+have produced.  Equivalence with batch replay holds whenever every job
+is fed before the clock passes its submit time.
+
+Queries
+-------
+
+:meth:`SimSession.query` answers with an :class:`EstimatedStart`: for a
+waiting job, the start time it would get if every queued job took a
+reservation *in queue-priority order* on the current predicted
+availability profile (exactly conservative backfilling's allocation; for
+EASY it is the guaranteed-bound analogue of the head's reservation).
+Queries are side-effect-free and memoised until the next state change,
+so a hot session answers repeated queries in microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterable
+
+from ..workload.job import Job
+from .events import Event, EventQueue, EventType
+from .machine import Machine
+from .results import JobRecord, SimulationResult
+
+if TYPE_CHECKING:  # imported for type hints only; avoids an import cycle
+    from ..correct.base import Corrector
+    from ..predict.base import Predictor
+    from ..sched.base import Scheduler
+    from .engine import EngineStats
+
+__all__ = [
+    "SimSession",
+    "EstimatedStart",
+    "SessionSnapshot",
+    "MachineEvent",
+    "MonotonicityError",
+]
+
+
+class MonotonicityError(ValueError):
+    """An operation tried to move the session's clock backwards."""
+
+
+@dataclass(frozen=True, slots=True)
+class MachineEvent:
+    """A capacity change: drain (remove) or restore (give back) nodes.
+
+    Drains take processors out of the *free* pool -- a drain wider than
+    the currently free capacity is rejected when the event is processed,
+    mirroring how a resource manager waits for nodes to empty before
+    draining them.  Restores may not exceed the drained total.
+    """
+
+    time: float
+    kind: str  # "drain" | "restore"
+    processors: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("drain", "restore"):
+            raise ValueError(
+                f"machine event kind must be 'drain' or 'restore', got {self.kind!r}"
+            )
+        if self.processors <= 0:
+            raise ValueError(
+                f"machine event processors must be > 0, got {self.processors}"
+            )
+        if self.time < 0:
+            raise ValueError(f"machine event time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True, slots=True)
+class EstimatedStart:
+    """Answer to a "when will this job start?" query."""
+
+    job_id: int
+    #: session clock when the query was answered.
+    query_time: float
+    #: estimated (waiting/hypothetical) or actual (running/finished) start.
+    start_time: float
+    #: "waiting" | "running" | "finished" | "hypothetical".
+    state: str
+    #: the predicted runtime the estimate was computed with (clamped).
+    predicted_runtime: float
+
+    @property
+    def wait(self) -> float:
+        """Estimated remaining wait from the query instant (>= 0)."""
+        return max(self.start_time - self.query_time, 0.0)
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Read-only view of a session's queue/machine/predictor state."""
+
+    now: float
+    processors: int
+    free: int
+    drained: int
+    n_pending_events: int
+    n_finished: int
+    #: waiting jobs in queue-priority order: (job_id, processors, predicted).
+    waiting: tuple[tuple[int, int, float], ...]
+    #: running jobs sorted by id: (job_id, start_time, predicted_end).
+    running: tuple[tuple[int, float, float], ...]
+    scheduler: str
+    predictor: str
+    corrector: str
+    stats: "EngineStats"
+
+
+class SimSession:
+    """An open-ended simulation accepting live jobs, events and queries."""
+
+    def __init__(
+        self,
+        processors: int,
+        scheduler: Scheduler,
+        predictor: Predictor,
+        corrector: Corrector | None = None,
+        *,
+        min_prediction: float = 60.0,
+        start_time: float = 0.0,
+        trace_name: str = "",
+    ) -> None:
+        from .engine import EngineStats  # local: engine imports this module
+
+        if min_prediction <= 0:
+            raise ValueError("min_prediction must be positive")
+        if start_time < 0:
+            raise ValueError("start_time must be >= 0")
+        self.scheduler = scheduler
+        self.predictor = predictor
+        self.corrector = corrector
+        self.min_prediction = float(min_prediction)
+        self.trace_name = trace_name
+        self.stats = EngineStats()
+        self._machine = Machine(processors)
+        self._events = EventQueue()
+        self._records: dict[int, JobRecord] = {}
+        self._now = float(start_time)
+        self._corrected: list[JobRecord] = []
+        #: MACHINE events by sequence id (the Event.job_id field).
+        self._machine_events: dict[int, MachineEvent] = {}
+        self._machine_seq = 0
+        #: memoised waiting-queue start estimates; dropped on any mutation.
+        self._query_cache: dict[int, float] | None = None
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The session clock (monotonic; never rewinds)."""
+        return self._now
+
+    @property
+    def machine(self) -> Machine:
+        """The machine (treat as read-only; mutate via events only)."""
+        return self._machine
+
+    @property
+    def n_pending_events(self) -> int:
+        return len(self._events)
+
+    @property
+    def n_jobs(self) -> int:
+        """Jobs fed so far (waiting + running + finished)."""
+        return len(self._records)
+
+    def record(self, job_id: int) -> JobRecord:
+        """The (live, mutable) record of a fed job."""
+        try:
+            return self._records[job_id]
+        except KeyError:
+            raise ValueError(f"job {job_id} was never fed to this session") from None
+
+    def snapshot(self) -> SessionSnapshot:
+        """A read-only snapshot of queue, machine and run counters."""
+        waiting = tuple(
+            (r.job_id, r.processors, r.predicted_runtime) for r in self.scheduler.queue
+        )
+        running = tuple(
+            sorted(
+                (run.record.job_id, run.start_time, run.predicted_end)
+                for run in self._machine.running
+            )
+        )
+        return SessionSnapshot(
+            now=self._now,
+            processors=self._machine.processors,
+            free=self._machine.free,
+            drained=self._machine.drained,
+            n_pending_events=len(self._events),
+            n_finished=sum(1 for r in self._records.values() if r.finished),
+            waiting=waiting,
+            running=running,
+            scheduler=self.scheduler.name,
+            predictor=self.predictor.name,
+            corrector=self.corrector.name if self.corrector else "none",
+            stats=replace(self.stats),
+        )
+
+    # -- feeding -------------------------------------------------------------
+    def feed(self, jobs: Iterable[Job] | Job) -> int:
+        """Queue SUBMIT events for jobs; returns how many were fed.
+
+        Jobs must not be behind the clock (``submit_time >= now``) and
+        must carry session-unique ids.  Feeding in trace order keeps
+        streaming byte-identical to batch replay (see module docstring).
+        """
+        if isinstance(jobs, Job):
+            jobs = (jobs,)
+        count = 0
+        for job in jobs:
+            if job.submit_time < self._now:
+                raise MonotonicityError(
+                    f"job {job.job_id} submitted at t={job.submit_time}, behind "
+                    f"the session clock t={self._now}"
+                )
+            if job.job_id in self._records:
+                raise ValueError(f"job {job.job_id} was already fed")
+            self._records[job.job_id] = JobRecord(job=job)
+            self._events.push(
+                Event(time=job.submit_time, kind=EventType.SUBMIT, job_id=job.job_id)
+            )
+            count += 1
+        if count:
+            self._query_cache = None
+        return count
+
+    def feed_machine_event(
+        self,
+        event: MachineEvent | None = None,
+        *,
+        time: float | None = None,
+        kind: str | None = None,
+        processors: int | None = None,
+    ) -> MachineEvent:
+        """Queue a capacity change (drain/restore), by object or fields."""
+        if event is None:
+            event = MachineEvent(
+                time=self._now if time is None else float(time),
+                kind=kind or "",
+                processors=0 if processors is None else int(processors),
+            )
+        if event.time < self._now:
+            raise MonotonicityError(
+                f"machine event at t={event.time} is behind the session "
+                f"clock t={self._now}"
+            )
+        self._machine_seq += 1
+        self._machine_events[self._machine_seq] = event
+        self._events.push(
+            Event(time=event.time, kind=EventType.MACHINE, job_id=self._machine_seq)
+        )
+        self._query_cache = None
+        return event
+
+    # -- time ----------------------------------------------------------------
+    def step(self) -> float | None:
+        """Process the next pending timestamp completely; returns it.
+
+        One step = every event at the earliest pending instant, the
+        batched correction notification, and one scheduling pass --
+        exactly one iteration of the batch loop.  Returns None (and does
+        nothing) when no events are pending.
+        """
+        if not self._events:
+            return None
+        now = self._events.peek_time()
+        self._process_timestamp(now)
+        return now
+
+    def advance_to(self, time: float) -> int:
+        """Process every timestamp up to and including ``time``; move the
+        clock to ``time``.  Returns the number of timestamps processed."""
+        if time < self._now:
+            raise MonotonicityError(
+                f"cannot advance to t={time}, behind the session clock t={self._now}"
+            )
+        steps = 0
+        while self._events and self._events.peek_time() <= time:
+            self.step()
+            steps += 1
+        if time > self._now:
+            self._now = float(time)
+            self._query_cache = None
+        return steps
+
+    def drain(self) -> int:
+        """Process everything pending; returns timestamps processed."""
+        steps = 0
+        while self.step() is not None:
+            steps += 1
+        return steps
+
+    # -- queries -------------------------------------------------------------
+    def query(
+        self, job: Job | None = None, *, job_id: int | None = None
+    ) -> EstimatedStart:
+        """Estimate when a job starts, without mutating any state.
+
+        Pass ``job_id`` (or a fed ``job``) for session jobs: waiting jobs
+        get a reservation-profile estimate, running/finished jobs their
+        actual start.  Pass an unknown ``job`` for a hypothetical
+        "where would this land?" probe -- it is predicted with the
+        predictor's pure :meth:`~repro.predict.base.Predictor.estimate`
+        entry point and appended behind the current queue.
+        """
+        if job is not None and job_id is None and job.job_id in self._records:
+            job_id = job.job_id
+        now = self._now
+        if job_id is not None:
+            record = self.record(job_id)
+            if record.started:
+                return EstimatedStart(
+                    job_id=job_id,
+                    query_time=now,
+                    start_time=record.start_time,
+                    state="finished" if record.finished else "running",
+                    predicted_runtime=record.predicted_runtime,
+                )
+            starts = self._waiting_starts()
+            if job_id not in starts:
+                raise ValueError(
+                    f"job {job_id} is fed but not yet submitted; advance the "
+                    f"session to t={record.submit_time} first"
+                )
+            return EstimatedStart(
+                job_id=job_id,
+                query_time=now,
+                start_time=starts[job_id],
+                state="waiting",
+                predicted_runtime=record.predicted_runtime,
+            )
+        if job is None:
+            raise ValueError("query() needs a job or a job_id")
+        probe = JobRecord(job=job)
+        probe.predicted_runtime = self._clamp(
+            float(self.predictor.estimate(probe, now)), job.requested_time
+        )
+        starts = self.scheduler.estimated_starts(now, self._machine, extra=(probe,))
+        return EstimatedStart(
+            job_id=job.job_id,
+            query_time=now,
+            start_time=starts[job.job_id],
+            state="hypothetical",
+            predicted_runtime=probe.predicted_runtime,
+        )
+
+    def _waiting_starts(self) -> dict[int, float]:
+        if self._query_cache is None:
+            self._query_cache = self.scheduler.estimated_starts(
+                self._now, self._machine
+            )
+        return self._query_cache
+
+    # -- live-session mutations ----------------------------------------------
+    def complete(self, job_id: int, time: float | None = None) -> JobRecord:
+        """Report that a job *actually* completed at ``time`` (default now).
+
+        The external observation overrides the simulated runtime: the
+        record's ``observed_runtime`` is stamped, pending simulated
+        FINISH/EXPIRE events become stale, the predictor learns from the
+        observed completion and a scheduling pass reuses the freed
+        processors.  Advances the clock to ``time`` first; if the
+        simulated finish already fired by then, the record is returned
+        unchanged.
+        """
+        record = self.record(job_id)
+        if time is None:
+            time = self._now
+        self.advance_to(time)  # raises MonotonicityError on a past time
+        if not self._machine.is_running(job_id):
+            if record.finished:
+                return record
+            raise ValueError(
+                f"job {job_id} is not running at t={time}; only running jobs "
+                "can be completed externally"
+            )
+        record.observed_runtime = max(time - record.start_time, 1e-9)
+        record.version += 1  # pending EXPIRE events become stale
+        self._machine.finish(job_id, time)
+        self.predictor.on_finish(record, time)
+        self.scheduler.on_finish(record)
+        self._query_cache = None
+        self._schedule_pass(time)
+        return record
+
+    def observe_completion(self, job: Job, runtime: float) -> None:
+        """Feed an out-of-band completion to the predictor only.
+
+        Keeps per-user predictor state hot from jobs the session never
+        scheduled (e.g. history replayed into a fresh ``repro serve``
+        process); scheduling state is untouched.
+        """
+        self.predictor.observe(job, runtime, self._now)
+
+    # -- results -------------------------------------------------------------
+    def result(self, *, partial: bool = False) -> SimulationResult:
+        """Freeze the finished records into a :class:`SimulationResult`.
+
+        With ``partial=True`` unfinished jobs are dropped instead of
+        raising, so a live session can report on what has completed.
+        """
+        records: Iterable[JobRecord] = self._records.values()
+        if partial:
+            records = [r for r in records if r.finished]
+        return SimulationResult(
+            records,
+            machine_processors=self._machine.processors,
+            trace_name=self.trace_name,
+            scheduler_name=self.scheduler.name,
+            predictor_name=self.predictor.name,
+            corrector_name=self.corrector.name if self.corrector else "none",
+        )
+
+    # -- event loop (the batch semantics, one timestamp at a time) -----------
+    def _process_timestamp(self, now: float) -> None:
+        self._now = now
+        self._query_cache = None
+        for event in self._events.drain_time(now):
+            self.stats.n_events += 1
+            if event.kind is EventType.SUBMIT:
+                self._handle_submit(self._records[event.job_id], now)
+            elif event.kind is EventType.FINISH:
+                self._handle_finish(self._records[event.job_id], now)
+            elif event.kind is EventType.EXPIRE:
+                self._handle_expire(event, self._records[event.job_id], now)
+            else:  # MACHINE
+                self._handle_machine(self._machine_events.pop(event.job_id), now)
+        if self._corrected:
+            # one scheduler notification per timestamp: a correction
+            # storm costs one structure re-sort/rebuild, not one per job
+            self.scheduler.on_corrections(self._corrected)
+            self._corrected.clear()
+        self._schedule_pass(now)
+
+    def _clamp(self, raw: float, requested_time: float) -> float:
+        return min(max(raw, self.min_prediction), requested_time)
+
+    def _handle_submit(self, record: JobRecord, now: float) -> None:
+        raw = float(self.predictor.predict(record, now))
+        if raw != raw or raw in (float("inf"), float("-inf")):
+            raise ValueError(
+                f"predictor {self.predictor.name!r} returned a non-finite "
+                f"prediction for job {record.job_id}"
+            )
+        record.raw_prediction = raw
+        clamped = self._clamp(raw, record.requested_time)
+        record.initial_prediction = clamped
+        record.predicted_runtime = clamped
+        self.scheduler.on_submit(record)
+        self.stats.max_queue_length = max(
+            self.stats.max_queue_length, self.scheduler.queue_length
+        )
+
+    def _handle_finish(self, record: JobRecord, now: float) -> None:
+        if not self._machine.is_running(record.job_id):
+            return  # stale: the job was completed externally
+        self._machine.finish(record.job_id, now)
+        self.predictor.on_finish(record, now)
+        self.scheduler.on_finish(record)
+
+    def _handle_expire(self, event: Event, record: JobRecord, now: float) -> None:
+        if not self._machine.is_running(record.job_id):
+            return  # stale: the job already finished
+        if event.version != record.version:
+            return  # stale: the prediction was corrected since
+        if self.corrector is None:
+            raise RuntimeError(
+                f"job {record.job_id} under-predicted at t={now} but no "
+                "correction mechanism is configured"
+            )
+        elapsed = now - record.start_time
+        new_prediction = float(self.corrector.correct(record, now))
+        # Contract enforcement: progress past the elapsed time, capped by
+        # the requested time which upper-bounds any feasible runtime.
+        new_prediction = min(
+            max(new_prediction, elapsed + 1.0), record.requested_time
+        )
+        record.corrections += 1
+        record.version += 1
+        record.predicted_runtime = new_prediction
+        self.stats.n_corrections += 1
+        # the scheduler hears about the whole timestamp's corrections at
+        # once (Scheduler.on_corrections), after the event drain
+        self._corrected.append(record)
+        self._push_expiry(record)
+
+    def _handle_machine(self, event: MachineEvent, now: float) -> None:
+        if event.kind == "drain":
+            self._machine.drain(event.processors)
+        else:
+            self._machine.restore(event.processors)
+        self.scheduler.on_machine_change(now, self._machine)
+
+    def _push_expiry(self, record: JobRecord) -> None:
+        """Schedule the next expiry if the prediction is still too small."""
+        if record.predicted_runtime < record.runtime:
+            self._events.push(
+                Event(
+                    time=record.start_time + record.predicted_runtime,
+                    kind=EventType.EXPIRE,
+                    job_id=record.job_id,
+                    version=record.version,
+                )
+            )
+
+    def _schedule_pass(self, now: float) -> None:
+        self.stats.n_scheduling_passes += 1
+        started = self.scheduler.select_jobs(now, self._machine)
+        for record in started:
+            self._machine.start(record, now)
+            self.scheduler.on_start(record, now)
+            self.predictor.on_start(record, now)
+            self._events.push(
+                Event(
+                    time=now + record.runtime,
+                    kind=EventType.FINISH,
+                    job_id=record.job_id,
+                )
+            )
+            self._push_expiry(record)

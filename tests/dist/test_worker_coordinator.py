@@ -5,6 +5,7 @@ a coordinator restart completes with no lost or duplicated cells."""
 
 import os
 import threading
+import time
 
 import pytest
 
@@ -207,6 +208,36 @@ class TestSignalHygiene:
         queue.signal("DONE", {"generation": generation})
         stats = run_worker(qdir, worker_id="w0", poll_interval=0.05, max_idle=30.0)
         assert stats.reason == "done"
+
+    def test_worker_ignores_generation_less_done_marker(self, tmp_path):
+        """Debris DONE written moments before the worker starts sits
+        inside the mtime-freshness grace, but carries no generation: it
+        cannot prove it concludes the campaign the coordinator is about
+        to enqueue, so the worker keeps waiting."""
+        qdir = str(tmp_path / "q")
+        queue = FsQueue.create(qdir, lease_ttl=60.0)
+        queue.signal("DONE")  # fresh mtime, no generation payload
+        stats = run_worker(qdir, worker_id="w0", poll_interval=0.05, max_idle=0.3)
+        assert stats.reason == "idle"
+
+    def test_worker_ignores_stop_predating_start(self, tmp_path):
+        """A STOP left by a failed campaign predates the worker: it is
+        the next coordinator's to clear, not a desertion order."""
+        qdir = str(tmp_path / "q")
+        queue = FsQueue.create(qdir, lease_ttl=60.0)
+        queue.signal("STOP")
+        os.utime(os.path.join(qdir, "STOP"), (1.0, 1.0))  # ancient fs stamp
+        stats = run_worker(qdir, worker_id="w0", poll_interval=0.05, max_idle=0.3)
+        assert stats.reason == "idle"
+
+    def test_worker_honours_stop_posted_after_start(self, tmp_path):
+        qdir = str(tmp_path / "q")
+        queue = FsQueue.create(qdir, lease_ttl=60.0)
+        thread, results = start_worker(qdir, "w0")
+        time.sleep(0.2)  # let the worker stamp its start and begin polling
+        queue.signal("STOP")
+        thread.join(timeout=30)
+        assert results["stats"].reason == "stop"
 
     def test_stale_stop_signal_cleared_on_new_campaign(self, tmp_path, single_host):
         """A failed campaign leaves STOP behind; the next campaign on the

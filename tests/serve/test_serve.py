@@ -1,0 +1,262 @@
+"""The ``repro serve`` JSONL protocol: command dispatch, error handling,
+the stream loop, and parity of served answers with a batch run."""
+
+import io
+import json
+
+import pytest
+
+from repro.predict import ClairvoyantPredictor
+from repro.sched import make_scheduler
+from repro.serve import SessionServer, build_serve_session, serve_loop
+from repro.sim import SimSession, simulate
+from repro.workload import Trace, get_trace
+
+from tests.helpers import make_job
+
+
+def make_server(processors: int = 8, **kwargs) -> SessionServer:
+    return SessionServer(build_serve_session(processors, **kwargs))
+
+
+def job_payload(job_id: int, submit: float = 0.0, processors: int = 1,
+                requested: float = 600.0, **extra) -> dict:
+    return {
+        "job_id": job_id,
+        "submit_time": submit,
+        "processors": processors,
+        "requested_time": requested,
+        **extra,
+    }
+
+
+class TestDispatch:
+    def test_ping(self):
+        server = make_server()
+        response = server.handle({"cmd": "ping"})
+        assert response == {"pong": True, "ok": True, "cmd": "ping", "now": 0.0}
+
+    def test_submit_advance_query_complete_roundtrip(self):
+        server = make_server()
+        assert server.handle(
+            {"cmd": "submit", "job": job_payload(1), "advance": True}
+        )["ok"]
+        answer = server.handle({"cmd": "query", "job_id": 1})
+        assert answer["ok"]
+        assert answer["state"] == "running"
+        assert answer["start"] == 0.0
+        assert answer["elapsed_us"] >= 0.0
+        done = server.handle({"cmd": "complete", "job_id": 1, "time": 90.0})
+        assert done["ok"]
+        assert done["runtime"] == 90.0
+        result = server.handle({"cmd": "result"})
+        assert result["jobs"] == [[1, 0.0, 90.0]]
+
+    def test_submit_without_advance_queues_only(self):
+        server = make_server()
+        server.handle({"cmd": "submit", "job": job_payload(1, submit=10.0)})
+        snap = server.handle({"cmd": "snapshot"})
+        assert snap["n_waiting"] == 0 and snap["n_running"] == 0
+        assert snap["n_pending_events"] == 1
+        server.handle({"cmd": "advance", "time": 10.0})
+        assert server.handle({"cmd": "snapshot"})["n_running"] == 1
+
+    def test_hypothetical_query_leaves_no_trace(self):
+        server = make_server()
+        ghost = job_payload(999, processors=2)
+        answer = server.handle({"cmd": "query", "job": ghost})
+        assert answer["ok"] and answer["state"] == "hypothetical"
+        assert server.handle({"cmd": "stats"})["n_jobs"] == 0
+
+    def test_machine_drain_and_restore(self):
+        server = make_server(processors=4)
+        server.handle({"cmd": "machine", "kind": "drain", "processors": 2})
+        server.handle({"cmd": "step"})
+        assert server.handle({"cmd": "snapshot"})["drained"] == 2
+        server.handle({"cmd": "machine", "kind": "restore", "processors": 2})
+        server.handle({"cmd": "drain"})
+        assert server.handle({"cmd": "snapshot"})["drained"] == 0
+
+    def test_held_job_query_serialises_null(self):
+        server = make_server(processors=4)
+        server.handle({"cmd": "machine", "kind": "drain", "processors": 2})
+        server.handle({"cmd": "step"})
+        server.handle(
+            {"cmd": "submit", "job": job_payload(1, processors=3), "advance": True}
+        )
+        answer = server.handle({"cmd": "query", "job_id": 1})
+        assert answer["ok"]
+        assert answer["start"] is None and answer["wait"] is None
+        json.dumps(answer)  # must stay strict-JSON serialisable
+
+    def test_observe_warms_the_predictor(self):
+        server = make_server(predictor="ave2")
+        server.handle(
+            {"cmd": "observe", "job": job_payload(100, requested=1200.0, user=3),
+             "runtime": 300.0}
+        )
+        probe = server.handle(
+            {"cmd": "query", "job": job_payload(101, requested=1200.0, user=3)}
+        )
+        assert probe["predicted_runtime"] == 300.0
+
+    def test_quit_closes(self):
+        server = make_server()
+        assert server.handle({"cmd": "quit"})["bye"]
+        assert server.closed
+
+
+class TestErrors:
+    def test_bad_json_line(self):
+        server = make_server()
+        response = server.handle_line("{nope")
+        assert response["ok"] is False
+        assert "bad JSON" in response["error"]
+
+    def test_blank_line_ignored(self):
+        assert make_server().handle_line("   \n") is None
+
+    def test_unknown_command(self):
+        response = make_server().handle({"cmd": "fandango"})
+        assert response["ok"] is False and "unknown command" in response["error"]
+
+    def test_non_object_request(self):
+        response = make_server().handle([1, 2, 3])
+        assert response["ok"] is False
+
+    def test_missing_job_fields(self):
+        response = make_server().handle(
+            {"cmd": "submit", "job": {"job_id": 1}}
+        )
+        assert response["ok"] is False and "missing required" in response["error"]
+
+    def test_unknown_job_fields(self):
+        response = make_server().handle(
+            {"cmd": "submit", "job": {**job_payload(1), "colour": "red"}}
+        )
+        assert response["ok"] is False and "unknown job field" in response["error"]
+
+    def test_monotonicity_error_is_reported_not_fatal(self):
+        server = make_server()
+        server.handle({"cmd": "advance", "time": 100.0})
+        response = server.handle(
+            {"cmd": "submit", "job": job_payload(1, submit=50.0)}
+        )
+        assert response["ok"] is False and "behind" in response["error"]
+        assert server.handle({"cmd": "ping"})["ok"]  # connection survives
+
+    def test_errors_are_counted(self):
+        server = make_server()
+        server.handle({"cmd": "fandango"})
+        server.handle_line("{nope")
+        assert server.stats.n_errors == 2
+
+
+class TestServeLoop:
+    def run_protocol(self, requests: list[dict], **kwargs) -> list[dict]:
+        session = build_serve_session(8, **kwargs)
+        in_stream = io.StringIO(
+            "".join(json.dumps(r) + "\n" for r in requests)
+        )
+        out_stream = io.StringIO()
+        serve_loop(session, in_stream, out_stream)
+        return [json.loads(line) for line in out_stream.getvalue().splitlines()]
+
+    def test_one_response_per_request(self):
+        responses = self.run_protocol(
+            [
+                {"cmd": "submit", "job": job_payload(1), "advance": True},
+                {"cmd": "query", "job_id": 1},
+                {"cmd": "quit"},
+            ]
+        )
+        assert len(responses) == 3
+        assert [r["cmd"] for r in responses] == ["submit", "query", "quit"]
+        assert all(r["ok"] for r in responses)
+
+    def test_loop_stops_at_quit(self):
+        responses = self.run_protocol(
+            [{"cmd": "quit"}, {"cmd": "ping"}]  # ping is never served
+        )
+        assert len(responses) == 1
+
+    def test_loop_survives_garbage_then_eof(self):
+        session = build_serve_session(8)
+        out = io.StringIO()
+        stats = serve_loop(session, io.StringIO("not json\n\n"), out)
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert len(responses) == 1 and responses[0]["ok"] is False
+        assert stats.n_errors == 1
+
+
+class TestServedParityWithBatch:
+    """Conservative + clairvoyant: the served query at submit time must
+    equal the start time an equivalent batch run produces (runtimes are
+    clamped >= min_prediction so clairvoyance is exact)."""
+
+    @pytest.fixture(scope="class")
+    def clamped_trace(self) -> Trace:
+        base = get_trace("KTH-SP2", n_jobs=40)
+        jobs = [
+            job.with_updates(
+                runtime=max(job.runtime, 60.0),
+                requested_time=max(job.requested_time, 60.0),
+            )
+            for job in base
+        ]
+        return Trace(jobs, processors=base.processors, name="serve-parity")
+
+    def test_served_schedule_and_queries_match_batch(self, clamped_trace):
+        batch = simulate(
+            clamped_trace, make_scheduler("conservative"), ClairvoyantPredictor()
+        )
+        batch_rows = sorted(
+            [r.job_id, r.start_time, r.end_time] for r in batch
+        )
+        batch_starts = {r.job_id: r.start_time for r in batch}
+
+        session = SimSession(
+            clamped_trace.processors,
+            make_scheduler("conservative"),
+            ClairvoyantPredictor(),
+        )
+        server = SessionServer(session)
+        for job in clamped_trace:
+            payload = {
+                "job_id": job.job_id,
+                "submit_time": job.submit_time,
+                "processors": job.processors,
+                "requested_time": job.requested_time,
+                "runtime": job.runtime,
+                "user": job.user,
+            }
+            assert server.handle(
+                {"cmd": "submit", "job": payload, "advance": True}
+            )["ok"]
+            answer = server.handle({"cmd": "query", "job_id": job.job_id})
+            assert answer["start"] == batch_starts[job.job_id], (
+                f"served estimate diverged for job {job.job_id}"
+            )
+        server.handle({"cmd": "drain"})
+        result = server.handle({"cmd": "result"})
+        assert result["jobs"] == batch_rows
+
+
+class TestCliServe:
+    def test_main_serve_roundtrip(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        requests = [
+            {"cmd": "submit", "job": job_payload(1), "advance": True},
+            {"cmd": "query", "job_id": 1},
+            {"cmd": "quit"},
+        ]
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO("".join(json.dumps(r) + "\n" for r in requests)),
+        )
+        assert main(["serve", "--processors", "8"]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(responses) == 3 and all(r["ok"] for r in responses)
+        assert "serve session closed" in captured.err

@@ -60,6 +60,54 @@ class TestEventQueue:
         assert q
         assert len(q) == 1
 
+    def test_machine_events_order_after_submits(self):
+        """MACHINE is the last kind at a timestamp: capacity changes land
+        after every job event of the instant."""
+        q = EventQueue()
+        q.push(Event(5.0, EventType.MACHINE, 1))
+        q.push(Event(5.0, EventType.SUBMIT, 2))
+        q.push(Event(5.0, EventType.FINISH, 3))
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [EventType.FINISH, EventType.SUBMIT, EventType.MACHINE]
+
+
+class TestMonotonicFloor:
+    def test_floor_starts_open(self):
+        q = EventQueue()
+        assert q.floor == float("-inf")
+        q.push(Event(0.0, EventType.SUBMIT, 1))  # any time is fine initially
+
+    def test_pop_raises_the_floor(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventType.SUBMIT, 1))
+        q.pop()
+        assert q.floor == 5.0
+
+    def test_push_behind_floor_rejected(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventType.SUBMIT, 1))
+        q.pop()
+        with pytest.raises(ValueError, match="monotonic"):
+            q.push(Event(4.0, EventType.SUBMIT, 2))
+
+    def test_push_at_floor_allowed(self):
+        """Same-instant pushes stay legal: a streaming feed may add more
+        events at the timestamp currently being processed."""
+        q = EventQueue()
+        q.push(Event(5.0, EventType.SUBMIT, 1))
+        q.pop()
+        q.push(Event(5.0, EventType.SUBMIT, 2))
+        assert q.pop().job_id == 2
+
+    def test_drain_time_raises_the_floor(self):
+        q = EventQueue()
+        q.push(Event(5.0, EventType.SUBMIT, 1))
+        q.push(Event(5.0, EventType.FINISH, 2))
+        list(q.drain_time(5.0))
+        assert q.floor == 5.0
+        with pytest.raises(ValueError):
+            q.push(Event(1.0, EventType.SUBMIT, 3))
+
 
 @given(
     st.lists(
