@@ -215,7 +215,7 @@ def run_dispatch_bench(quick: bool) -> dict:
     cells = [config.cell_spec(log, key, seed) for key in triple_keys]
     trace_digest(log, n_jobs, seed)  # warm the shared digest memo
 
-    def on_result(_spec, _value):
+    def on_result(_spec, _value, _seconds=None):
         pass
 
     t0 = time.perf_counter()
@@ -250,6 +250,55 @@ def run_dispatch_bench(quick: bool) -> dict:
     }
 
 
+def run_telemetry_bench(quick: bool) -> dict:
+    """Telemetry cost on the correction-heavy scenario, both ways.
+
+    Runs the narrow ave2+incremental cell with telemetry disabled (the
+    default ``NOOP`` registry -- hot paths pay one attribute check) and
+    with a live registry, interleaved over a few repetitions with the
+    per-side minimum kept so background noise cancels.  Asserts the two
+    schedules are byte-identical: instrumentation must observe, never
+    steer.  The disabled side is the exact configuration the speedup
+    scenarios above time, so the ``--min-speedup`` gate doubles as the
+    disabled-path overhead gate.
+    """
+    from repro.obs import Telemetry
+
+    trace = _narrow_trace(quick)
+
+    def run_once(telemetry):
+        predictor, corrector = _components("ave2+incremental")
+        session = SimSession(
+            trace.processors,
+            make_scheduler("easy-sjbf"),
+            predictor,
+            corrector,
+            trace_name=trace.name,
+            telemetry=telemetry,
+        )
+        t0 = time.perf_counter()
+        session.feed(trace)
+        session.drain()
+        result = session.result()
+        return time.perf_counter() - t0, _schedule_bytes(result)
+
+    reps = 2 if quick else 3
+    disabled = enabled = float("inf")
+    disabled_bytes = enabled_bytes = b""
+    for _ in range(reps):
+        seconds, disabled_bytes = run_once(None)
+        disabled = min(disabled, seconds)
+        seconds, enabled_bytes = run_once(Telemetry(component="bench"))
+        enabled = min(enabled, seconds)
+    return {
+        "scenario": "easy-sjbf/corrections",
+        "disabled_seconds": round(disabled, 4),
+        "enabled_seconds": round(enabled, 4),
+        "enabled_overhead_percent": round((enabled - disabled) / disabled * 100.0, 1),
+        "schedules_identical": disabled_bytes == enabled_bytes,
+    }
+
+
 def run_benchmark(quick: bool) -> dict:
     """All scenarios; returns the BENCH_engine.json payload."""
     wide = _wide_trace(quick)
@@ -278,6 +327,13 @@ def run_benchmark(quick: bool) -> dict:
         f"overhead={dispatch['overhead_seconds_per_cell']*1000:6.1f}ms/cell "
         f"({dispatch['overhead_percent']:.1f}%)"
     )
+    telemetry = run_telemetry_bench(quick)
+    print(
+        f"  {'telemetry/enabled':24s} off={telemetry['disabled_seconds']:7.3f}s "
+        f"on={telemetry['enabled_seconds']:7.3f}s "
+        f"overhead={telemetry['enabled_overhead_percent']:5.1f}% "
+        f"identical={telemetry['schedules_identical']}"
+    )
     total_legacy = sum(s["legacy_seconds"] for s in scenarios)
     total_profile = sum(s["profile_seconds"] for s in scenarios)
     return {
@@ -287,10 +343,14 @@ def run_benchmark(quick: bool) -> dict:
         "python": platform.python_version(),
         "scenarios": scenarios,
         "dispatch": dispatch,
+        "telemetry": telemetry,
         "total_profile_seconds": round(total_profile, 4),
         "total_legacy_seconds": round(total_legacy, 4),
         "overall_speedup": round(total_legacy / total_profile, 2),
-        "all_schedules_identical": all(s["schedules_identical"] for s in scenarios),
+        "all_schedules_identical": (
+            all(s["schedules_identical"] for s in scenarios)
+            and telemetry["schedules_identical"]
+        ),
         "wall_seconds": round(time.perf_counter() - t0, 2),
     }
 
@@ -325,7 +385,10 @@ def main(argv: list[str] | None = None) -> int:
         f"legacy {report['total_legacy_seconds']}s); wrote {args.out}"
     )
     if not report["all_schedules_identical"]:
-        print("FAIL: profile-based schedules diverge from the seed implementation")
+        print(
+            "FAIL: schedules diverge (profile vs seed implementation, "
+            "or telemetry-on vs telemetry-off)"
+        )
         return 1
     if report["overall_speedup"] < args.min_speedup:
         print(f"FAIL: overall speedup below the {args.min_speedup}x target")

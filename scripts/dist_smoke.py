@@ -9,9 +9,18 @@ Proves the fsqueue dispatch subsystem end to end, with real processes:
    SIGKILLed mid-run to prove lease-expiry retry recovers its shard;
 3. canonicalises both result caches (``repro.dist.merge``) and asserts
    they are **byte-identical**;
-4. leaves the merged cache at ``--out`` for CI artifact upload.
+4. reconciles the workers' telemetry against the merged cache: every
+   unique cell must be accounted for by a *surviving* worker's
+   ``worker.cells.simulated + worker.cells.cached`` counters (survivors
+   re-claim the victim's shard and serve its proven cells from the shard
+   cache), claims and lease renewals must be non-zero, and the
+   SIGKILLed victim must have left **no** snapshot (snapshots land only
+   on clean exit);
+5. leaves the merged cache at ``--out`` and the telemetry directory
+   (``--telemetry-dir``) for CI artifact upload.
 
-Exit code 0 only if every step, including the byte comparison, passes.
+Exit code 0 only if every step, including the byte comparison and the
+telemetry reconciliation, passes.
 
 Usage::
 
@@ -53,11 +62,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-jobs", type=int, default=120)
     parser.add_argument("--workdir", default=None,
                         help="scratch dir (default: a fresh tempdir)")
+    parser.add_argument("--telemetry-dir", default=None,
+                        help="telemetry output dir (default: WORKDIR/telemetry; "
+                        "kept for artifact upload)")
     parser.add_argument("--timeout", type=float, default=900.0)
     args = parser.parse_args(argv)
 
     workdir = args.workdir or tempfile.mkdtemp(prefix="repro-dist-smoke-")
     os.makedirs(workdir, exist_ok=True)
+    telemetry_dir = args.telemetry_dir or os.path.join(workdir, "telemetry")
     queue_dir = os.path.join(workdir, "queue")
     local_cache = os.path.join(workdir, "local.jsonl")
     dist_cache = os.path.join(workdir, "dist.jsonl")
@@ -68,7 +81,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"[smoke] workdir: {workdir}")
     t0 = time.monotonic()
-    print("[smoke] 1/4 single-host reference campaign ...")
+    print("[smoke] 1/5 single-host reference campaign ...")
     subprocess.run(
         [sys.executable, "-m", "repro", "campaign", *campaign_args,
          "--cache", local_cache],
@@ -77,20 +90,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"[smoke]     done in {time.monotonic() - t0:.0f}s")
 
-    print("[smoke] 2/4 distributed campaign: 2 workers + 1 sacrificial ...")
+    print("[smoke] 2/5 distributed campaign: 2 workers + 1 sacrificial ...")
     workers = [
         spawn(["worker", "--queue", queue_dir, "--worker-id", f"smoke-w{i}",
-               "--poll", "0.2", "--max-idle", "120"],
+               "--poll", "0.2", "--max-idle", "120",
+               "--telemetry", telemetry_dir],
               env, os.path.join(workdir, f"w{i}.log"))
         for i in (1, 2)
     ]
     victim = spawn(["worker", "--queue", queue_dir, "--worker-id", "smoke-victim",
-                    "--poll", "0.2", "--max-idle", "120"],
+                    "--poll", "0.2", "--max-idle", "120",
+                    "--telemetry", telemetry_dir],
                    env, os.path.join(workdir, "victim.log"))
     coordinator = spawn(
         ["campaign", *campaign_args, "--cache", dist_cache,
          "--backend", "fsqueue", "--queue", queue_dir,
          "--lease-ttl", "10", "--dist-timeout", str(args.timeout),
+         "--telemetry", telemetry_dir,
          "--progress-log", os.path.join(workdir, "coordinator.jsonl")],
         env, os.path.join(workdir, "coordinator.log"),
     )
@@ -119,7 +135,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(f"[smoke]     done in {time.monotonic() - t0:.0f}s")
 
-    print("[smoke] 3/4 canonicalise + byte-compare ...")
+    print("[smoke] 3/5 canonicalise + byte-compare ...")
     local_canon = os.path.join(workdir, "local.canonical.jsonl")
     _, local_report = merge_caches([local_cache], out_path=local_canon)
     _, dist_report = merge_caches([dist_cache], out_path=args.out)
@@ -135,7 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"[smoke]     byte-identical: {len(dist_bytes)} bytes, "
           f"{dist_report.unique} cells")
 
-    print("[smoke] 4/4 worker participation ...")
+    print("[smoke] 4/5 worker participation ...")
     shard_results = [p for p in os.listdir(os.path.join(queue_dir, "results"))]
     progress_dir = os.path.join(queue_dir, "progress")
     from repro.core.reporting import format_dist_progress, load_progress, load_progress_dir
@@ -143,8 +159,51 @@ def main(argv: list[str] | None = None) -> int:
     events = load_progress(os.path.join(workdir, "coordinator.jsonl"))
     events += load_progress_dir(progress_dir)
     print(format_dist_progress(events))
+
+    print("[smoke] 5/5 telemetry reconciliation ...")
+    from repro.obs import load_snapshots
+
+    snapshots = load_snapshots(telemetry_dir)
+    components = sorted(s["component"] for s in snapshots)
+    print(f"[smoke]     snapshots: {', '.join(components) or '(none)'}")
+    worker_snaps = [s for s in snapshots if s["component"].startswith("worker-")]
+    if any(s["component"] == "worker-smoke-victim" for s in worker_snaps):
+        print("[smoke] FAIL: SIGKILLed victim left a telemetry snapshot "
+              "(snapshots must only land on clean exit)")
+        return 1
+    if not any(s["component"] == "campaign" for s in snapshots):
+        print("[smoke] FAIL: coordinator wrote no campaign telemetry snapshot")
+        return 1
+
+    def counter(snap: dict, name: str) -> float:
+        return float(snap.get("counters", {}).get(name, 0))
+
+    claims = sum(counter(s, "worker.claims") for s in worker_snaps)
+    renewals = sum(counter(s, "worker.lease.renewals") for s in worker_snaps)
+    proven = sum(
+        counter(s, "worker.cells.simulated") + counter(s, "worker.cells.cached")
+        for s in worker_snaps
+    )
+    print(f"[smoke]     surviving workers: {len(worker_snaps)}, "
+          f"claims={claims:.0f}, renewals={renewals:.0f}, "
+          f"cells simulated+cached={proven:.0f} "
+          f"(merged cache: {dist_report.unique} unique cells)")
+    if len(worker_snaps) != 2:
+        print("[smoke] FAIL: expected snapshots from the 2 surviving workers")
+        return 1
+    if claims < 1 or renewals < 1:
+        print("[smoke] FAIL: workers recorded no claims or lease renewals")
+        return 1
+    # every merged cell was either simulated by a survivor or proven by a
+    # dead attempt and re-served from its shard cache by the survivor
+    # that re-claimed the shard -- so the counters must cover the cache
+    if proven < dist_report.unique:
+        print("[smoke] FAIL: worker telemetry accounts for fewer cells "
+              "than the merged cache holds")
+        return 1
+
     print(f"[smoke] OK ({len(shard_results)} shard result file(s)); "
-          f"merged cache at {args.out}")
+          f"merged cache at {args.out}; telemetry at {telemetry_dir}")
     if args.workdir is None:
         shutil.rmtree(workdir, ignore_errors=True)
     return 0

@@ -12,7 +12,11 @@ Proves ``repro serve`` end to end, with a real subprocess and pipes:
    ``repro serve --scheduler conservative --predictor clairvoyant``;
 4. asserts every served query matches the batch start time, the final
    served schedule is identical to the batch one, and warm queries are
-   answered in well under a millisecond of server-side time.
+   answered in well under a millisecond of server-side time;
+5. with ``--telemetry-dir`` it also reconciles the server's telemetry
+   snapshot: ``serve.requests.total`` must equal the number of piped
+   commands and the warm/cold/probe query counters must cover every
+   query sent.
 
 Exit code 0 only if every check passes.
 
@@ -85,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
         "--max-warm-us", type=float, default=1000.0,
         help="bound on the median server-side warm-query time (microseconds)",
     )
+    parser.add_argument(
+        "--telemetry-dir", default=None,
+        help="run the server with --telemetry DIR and reconcile its "
+        "request counters against the piped command script",
+    )
     args = parser.parse_args(argv)
 
     trace = build_trace(args.n_jobs)
@@ -98,12 +107,15 @@ def main(argv: list[str] | None = None) -> int:
     commands = command_script(trace)
     env = dict(os.environ)
     env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    serve_cmd = [sys.executable, "-m", "repro", "serve",
+                 "--processors", str(trace.processors),
+                 "--scheduler", "conservative",
+                 "--predictor", "clairvoyant",
+                 "--corrector", "none"]
+    if args.telemetry_dir:
+        serve_cmd += ["--telemetry", args.telemetry_dir]
     proc = subprocess.run(
-        [sys.executable, "-m", "repro", "serve",
-         "--processors", str(trace.processors),
-         "--scheduler", "conservative",
-         "--predictor", "clairvoyant",
-         "--corrector", "none"],
+        serve_cmd,
         input="".join(json.dumps(c) + "\n" for c in commands),
         capture_output=True, text=True, env=env, timeout=300,
     )
@@ -150,6 +162,43 @@ def main(argv: list[str] | None = None) -> int:
     if median_us >= args.max_warm_us:
         print("FAIL: warm queries slower than the bound")
         failures += 1
+
+    if args.telemetry_dir:
+        from repro.obs import load_snapshots
+
+        snapshots = [
+            s for s in load_snapshots(args.telemetry_dir)
+            if s["component"] == "serve"
+        ]
+        if not snapshots:
+            print(f"FAIL: no serve telemetry snapshot under {args.telemetry_dir}")
+            failures += 1
+        else:
+            counters = snapshots[0].get("counters", {})
+            total = counters.get("serve.requests.total", 0)
+            if total != len(commands):
+                print(
+                    f"FAIL: serve.requests.total={total} but "
+                    f"{len(commands)} command(s) were piped"
+                )
+                failures += 1
+            answered = (
+                counters.get("serve.query.warm", 0)
+                + counters.get("serve.query.cold", 0)
+                + counters.get("serve.query.probe", 0)
+            )
+            if answered != len(query_times):
+                print(
+                    f"FAIL: warm+cold+probe query counters ({answered}) != "
+                    f"{len(query_times)} quer(ies) sent"
+                )
+                failures += 1
+            print(
+                f"telemetry: {total:.0f} request(s), "
+                f"{counters.get('serve.query.warm', 0):.0f} warm / "
+                f"{counters.get('serve.query.cold', 0):.0f} cold quer(ies), "
+                f"{counters.get('serve.errors', 0):.0f} error(s)"
+            )
 
     if failures:
         return 1

@@ -15,8 +15,15 @@ Subcommands::
     repro worker --queue /shared/q   # drain shards from a queue dir
     repro merge --out merged.jsonl /shared/q/results
     repro table --which 1|6|7|8      # print a paper table reproduction
+    repro metrics RUN_DIR            # render telemetry snapshots
+    repro metrics BEFORE_DIR AFTER_DIR   # counter deltas between two runs
 
-``python -m repro`` works as well as the installed ``repro`` script.
+``sim``, ``campaign``, ``worker`` and ``serve`` accept ``--telemetry
+DIR``: counters/histograms land in ``DIR/metrics-<component>.json`` (+
+Prometheus text) and spans in ``DIR/trace-<component>.jsonl``; render
+with ``repro metrics DIR``.  ``-v``/``-vv`` (or ``REPRO_LOG=INFO``)
+raises the log level.  ``python -m repro`` works as well as the
+installed ``repro`` script.
 """
 
 from __future__ import annotations
@@ -40,6 +47,23 @@ from .workload import LOG_NAMES, get_trace, save_swf, stable_seed, table4_rows
 
 __all__ = ["main", "build_parser"]
 
+_TELEMETRY_HELP = (
+    "write counters/histograms and a span trace into this directory "
+    "(render with `repro metrics DIR`)"
+)
+
+
+def _version_string() -> str:
+    from . import __version__
+    from .core.campaign import CACHE_VERSION
+    from .sim.engine import ENGINE_VERSION
+    from .spec import SPEC_VERSION
+
+    return (
+        f"repro {__version__} (engine v{ENGINE_VERSION}, "
+        f"cache v{CACHE_VERSION}, spec v{SPEC_VERSION})"
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -48,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Improving Backfilling by using Machine "
             "Learning to predict Running Times' (SC 2015)"
         ),
+    )
+    parser.add_argument("--version", action="version", version=_version_string())
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log INFO (-v) or DEBUG (-vv); REPRO_LOG=LEVEL works too",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -67,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--corrector", default="none")
     p_sim.add_argument("--scheduler", default="easy")
     p_sim.add_argument("--tau", type=float, default=10.0)
+    p_sim.add_argument("--telemetry", default=None, metavar="DIR", help=_TELEMETRY_HELP)
 
     p_camp = sub.add_parser(
         "campaign",
@@ -114,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--dist-timeout", type=float, default=None,
         help="fsqueue: give up after this many seconds without completion",
     )
+    p_camp.add_argument("--telemetry", default=None, metavar="DIR", help=_TELEMETRY_HELP)
 
     p_serve = sub.add_parser(
         "serve",
@@ -127,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--corrector", default="incremental")
     p_serve.add_argument("--min-prediction", type=float, default=60.0)
     p_serve.add_argument("--name", default="serve", help="session/trace label")
+    p_serve.add_argument("--telemetry", default=None, metavar="DIR", help=_TELEMETRY_HELP)
 
     p_worker = sub.add_parser(
         "worker", help="claim and simulate shards from a campaign queue"
@@ -140,6 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_worker.add_argument(
         "--max-shards", type=int, default=None, help="exit after completing N shards"
+    )
+    p_worker.add_argument(
+        "--telemetry", default=None, metavar="DIR", help=_TELEMETRY_HELP
     )
 
     p_merge = sub.add_parser(
@@ -181,6 +216,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, help="print at most N entries"
     )
 
+    p_metrics = sub.add_parser(
+        "metrics", help="render telemetry snapshots written by --telemetry DIR"
+    )
+    p_metrics.add_argument(
+        "dirs", nargs="+", metavar="DIR",
+        help="one snapshot directory to render, or two to diff (before after)",
+    )
+    p_metrics.add_argument(
+        "--format", choices=["text", "prom", "json"], default="text",
+        help="single-directory rendering: human text, Prometheus "
+        "exposition, or raw snapshot JSON",
+    )
+
     p_table = sub.add_parser("table", help="print a paper table reproduction")
     p_table.add_argument("--which", required=True, choices=["1", "4", "6", "7", "8"])
     p_table.add_argument("--n-jobs", type=int, default=2000)
@@ -214,6 +262,32 @@ def _resolve_seed(args: argparse.Namespace) -> tuple[int, bool]:
     return stable_seed(args.log), True
 
 
+def _telemetry_from_args(args: argparse.Namespace, component: str):
+    """``(telemetry, dir)`` from ``--telemetry DIR``, or ``(None, None)``.
+
+    The registry traces into ``DIR/trace-<component>.jsonl`` as it runs;
+    call :func:`_finish_telemetry` to land the counter snapshot.
+    """
+    directory = getattr(args, "telemetry", None)
+    if not directory:
+        return None, None
+    import os
+
+    from .obs import JsonlTraceSink, Telemetry
+
+    os.makedirs(directory, exist_ok=True)
+    trace = JsonlTraceSink(os.path.join(directory, f"trace-{component}.jsonl"))
+    return Telemetry(component=component, trace=trace), directory
+
+
+def _finish_telemetry(telemetry, directory: str | None) -> None:
+    if telemetry is None or directory is None:
+        return
+    path = telemetry.write(directory)
+    telemetry.close()
+    print(f"telemetry written to {path}", file=sys.stderr)
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     seed, derived = _resolve_seed(args)
     trace = get_trace(args.log, n_jobs=args.n_jobs, seed=seed)
@@ -229,9 +303,14 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     corrector = None if args.corrector == "none" else args.corrector
     triple = HeuristicTriple(args.predictor, corrector, args.scheduler)
     seed, derived = _resolve_seed(args)
-    outcome = run_triple(
-        args.log, triple.key, n_jobs=args.n_jobs, seed=seed, tau=args.tau
-    )
+    telemetry, tele_dir = _telemetry_from_args(args, "sim")
+    try:
+        outcome = run_triple(
+            args.log, triple.key, n_jobs=args.n_jobs, seed=seed, tau=args.tau,
+            telemetry=telemetry,
+        )
+    finally:
+        _finish_telemetry(telemetry, tele_dir)
     origin = "derived from log name" if derived else "from --seed"
     print(f"log        : {outcome.log}")
     print(f"seed       : {outcome.seed} ({origin})")
@@ -260,7 +339,7 @@ def _backend_from_args(args: argparse.Namespace):
     return backend
 
 
-def _campaign_from_args(args: argparse.Namespace):
+def _campaign_from_args(args: argparse.Namespace, telemetry=None):
     config = CampaignConfig(
         logs=tuple(args.logs) if hasattr(args, "logs") else LOG_NAMES,
         n_jobs=args.n_jobs,
@@ -273,6 +352,7 @@ def _campaign_from_args(args: argparse.Namespace):
         progress=True,
         progress_path=getattr(args, "progress_log", None),
         backend=_backend_from_args(args),
+        telemetry=telemetry,
     )
 
 
@@ -283,14 +363,19 @@ def _cmd_spec_campaign(args: argparse.Namespace) -> int:
 
     name, cells = validate_spec_file(args.spec)
     print(f"spec {args.spec} ({name}): {len(cells)} cell(s)")
-    result = run_cells(
-        cells,
-        cache_path=args.cache,
-        workers=args.workers,
-        progress=True,
-        progress_path=getattr(args, "progress_log", None),
-        backend=_backend_from_args(args),
-    )
+    telemetry, tele_dir = _telemetry_from_args(args, "campaign")
+    try:
+        result = run_cells(
+            cells,
+            cache_path=args.cache,
+            workers=args.workers,
+            progress=True,
+            progress_path=getattr(args, "progress_log", None),
+            backend=_backend_from_args(args),
+            telemetry=telemetry,
+        )
+    finally:
+        _finish_telemetry(telemetry, tele_dir)
     campaign = result.to_campaign_result()
     if campaign is not None:
         try:
@@ -298,10 +383,19 @@ def _cmd_spec_campaign(args: argparse.Namespace) -> int:
             return 0
         except KeyError:
             pass  # legacy-shaped but not the paper's matrix
+    rows = [
+        (
+            row.label,
+            f"{row.mean_score:.2f}",
+            str(row.n_cells),
+            "cached" if row.mean_seconds is None else f"{row.mean_seconds:.2f}",
+        )
+        for row in result.leaderboard()
+    ]
     print(
         format_table(
-            ["Components", "mean AVEbsld"],
-            [(label, f"{score:.2f}") for label, score in result.leaderboard()],
+            ["Components", "mean AVEbsld", "cells", "mean s/cell"],
+            rows,
             title=f"Scenario leaderboard ({name})",
         )
     )
@@ -334,7 +428,11 @@ def _print_table6(result) -> None:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if getattr(args, "spec", None):
         return _cmd_spec_campaign(args)
-    result = _campaign_from_args(args)
+    telemetry, tele_dir = _telemetry_from_args(args, "campaign")
+    try:
+        result = _campaign_from_args(args, telemetry=telemetry)
+    finally:
+        _finish_telemetry(telemetry, tele_dir)
     _print_table6(result)
     return 0
 
@@ -382,6 +480,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: JSONL protocol loop over one live SimSession."""
     from .serve import build_serve_session, serve_loop
 
+    telemetry, tele_dir = _telemetry_from_args(args, "serve")
     session = build_serve_session(
         processors=args.processors,
         scheduler=args.scheduler,
@@ -389,6 +488,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         corrector=args.corrector,
         min_prediction=args.min_prediction,
         name=args.name,
+        telemetry=telemetry,
     )
     print(
         f"serving m={args.processors} scheduler={args.scheduler} "
@@ -396,7 +496,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "one JSON request per line (see README 'Serving mode')",
         file=sys.stderr,
     )
-    stats = serve_loop(session, sys.stdin, sys.stdout)
+    try:
+        stats = serve_loop(session, sys.stdin, sys.stdout, telemetry=telemetry)
+    finally:
+        _finish_telemetry(telemetry, tele_dir)
     print(
         f"serve session closed: {stats.n_requests} request(s), "
         f"{stats.n_submitted} submitted, {stats.n_queries} query(ies), "
@@ -416,6 +519,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         max_idle=args.max_idle,
         max_shards=args.max_shards,
         echo=True,
+        telemetry_dir=args.telemetry,
     )
     print(
         f"worker {stats.worker_id} exiting ({stats.reason}): "
@@ -437,6 +541,36 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     )
     print(report.describe())
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics DIR [DIR2]``: render or diff telemetry snapshots."""
+    import json
+
+    from .obs import diff_snapshots, format_snapshots, load_snapshots
+    from .obs.sinks import prom_text
+
+    if len(args.dirs) > 2:
+        raise SystemExit("metrics takes one directory, or two to diff")
+    if len(args.dirs) == 2:
+        baseline = load_snapshots(args.dirs[0])
+        current = load_snapshots(args.dirs[1])
+        if not baseline and not current:
+            print(f"no metrics-*.json snapshots under {args.dirs[0]} or {args.dirs[1]}")
+            return 1
+        print(diff_snapshots(baseline, current))
+        return 0
+    snapshots = load_snapshots(args.dirs[0])
+    if not snapshots:
+        print(f"no metrics-*.json snapshots under {args.dirs[0]}")
+        return 1
+    if args.format == "prom":
+        print("\n".join(prom_text(snap) for snap in snapshots))
+    elif args.format == "json":
+        print(json.dumps(snapshots, indent=2, sort_keys=True))
+    else:
+        print(format_snapshots(snapshots))
     return 0
 
 
@@ -502,6 +636,9 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .obs import setup_logging
+
+    setup_logging(verbosity=args.verbose)
     if args.command == "logs":
         return _cmd_logs()
     if args.command == "synth":
@@ -518,6 +655,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_merge(args)
     if args.command == "spec":
         return _cmd_spec(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     if args.command == "table":
         return _cmd_table(args)
     raise AssertionError(f"unhandled command {args.command!r}")

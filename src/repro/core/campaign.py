@@ -29,15 +29,16 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import IO, TYPE_CHECKING, Sequence
+from typing import IO, TYPE_CHECKING, NamedTuple, Sequence
 
 import numpy as np
 
 from ..metrics.slowdown import DEFAULT_TAU
+from ..obs.telemetry import NOOP, Telemetry
 from ..sim.engine import ENGINE_VERSION
 from ..spec import CellSpec, WorkloadSpec
 from ..workload.archive import LOG_NAMES, get_trace, stable_seed
-from .run import build_workload, run_cell
+from .run import build_workload, run_cell_report
 from .triples import (
     EASY_TRIPLE,
     EASYPP_TRIPLE,
@@ -53,6 +54,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "SpecCampaignResult",
+    "LeaderboardRow",
     "run_campaign",
     "run_cells",
     "trace_digest",
@@ -460,9 +462,23 @@ class ProgressLog:
 _ProgressLog = ProgressLog
 
 
-def _run_one(spec: CellSpec) -> tuple[CellSpec, float]:
+def _run_one(
+    spec: CellSpec, with_telemetry: bool = False
+) -> tuple[CellSpec, float, dict]:
     """Worker-side shim (must be module-level for pickling)."""
-    return (spec, run_cell(spec))
+    score, report = run_cell_report(spec, with_telemetry=with_telemetry)
+    return (spec, score, report)
+
+
+class LeaderboardRow(NamedTuple):
+    """One :meth:`SpecCampaignResult.leaderboard` line."""
+
+    label: str
+    mean_score: float
+    n_cells: int
+    #: mean wall seconds per simulated cell; None when every cell of the
+    #: label came from the cache (nothing was timed this run).
+    mean_seconds: float | None
 
 
 @dataclass
@@ -472,6 +488,9 @@ class SpecCampaignResult:
     cells: list[CellSpec]
     #: spec digest -> AVEbsld.
     scores: dict[str, float] = field(default_factory=dict)
+    #: spec digest -> wall seconds, for cells simulated *this* run
+    #: (cache hits cost nothing and are absent).
+    durations: dict[str, float] = field(default_factory=dict)
 
     def score(self, spec: CellSpec) -> float:
         return self.scores[spec.digest()]
@@ -480,16 +499,30 @@ class SpecCampaignResult:
         """(cell, score) pairs in campaign order."""
         return [(cell, self.scores[cell.digest()]) for cell in self.cells]
 
-    def leaderboard(self) -> list[tuple[str, float]]:
+    def leaderboard(self) -> list[LeaderboardRow]:
         """Mean score per component-label, best first -- the generic
-        report for grids that aren't the paper's triple matrix."""
+        report for grids that aren't the paper's triple matrix.  Rows
+        carry cell counts and mean per-cell wall time (None for labels
+        served entirely from the cache)."""
         by_label: dict[str, list[float]] = {}
+        times: dict[str, list[float]] = {}
         for cell, score in self.rows():
             by_label.setdefault(cell.label, []).append(score)
-        means = [
-            (label, float(np.mean(values))) for label, values in by_label.items()
+            seconds = self.durations.get(cell.digest())
+            if seconds is not None:
+                times.setdefault(cell.label, []).append(seconds)
+        rows = [
+            LeaderboardRow(
+                label=label,
+                mean_score=float(np.mean(values)),
+                n_cells=len(values),
+                mean_seconds=(
+                    float(np.mean(times[label])) if label in times else None
+                ),
+            )
+            for label, values in by_label.items()
         ]
-        return sorted(means, key=lambda item: item[1])
+        return sorted(rows, key=lambda row: row.mean_score)
 
     def to_campaign_result(self) -> "CampaignResult | None":
         """Reshape into the paper-table :class:`CampaignResult` when the
@@ -548,6 +581,7 @@ def run_cells(
     progress_path: str | None = None,
     backend: "Broker | str" = "local",
     queue_dir: str | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SpecCampaignResult:
     """Run (or warm-load) an arbitrary list of cell specs.
 
@@ -556,6 +590,10 @@ def run_cells(
     every dispatch backend key them by spec digest, and the result comes
     back digest-indexed (reshape with
     :meth:`SpecCampaignResult.to_campaign_result` for the paper tables).
+
+    ``telemetry`` collects campaign/dispatch counters and, under the
+    local broker, the engine/predictor metrics merged back from every
+    simulated cell.
     """
     from ..dist.broker import resolve_backend
 
@@ -563,14 +601,18 @@ def run_cells(
     broker = resolve_backend(backend, workers=workers, queue_dir=queue_dir)
     cache = ResultCache(cache_path)
     plog = _ProgressLog(progress_path)
+    durations: dict[str, float] = {}
     try:
-        scores = _execute_cells(cells, cache, plog, broker, progress)
+        scores = _execute_cells(
+            cells, cache, plog, broker, progress,
+            telemetry=telemetry, durations=durations,
+        )
     finally:
         # a failing worker must not leak the cache/progress handles; every
         # cell finished before the failure is already flushed to disk
         plog.close()
         cache.close()
-    return SpecCampaignResult(cells=cells, scores=scores)
+    return SpecCampaignResult(cells=cells, scores=scores, durations=durations)
 
 
 def run_campaign(
@@ -583,6 +625,7 @@ def run_campaign(
     triples: Sequence[HeuristicTriple] | None = None,
     backend: "Broker | str" = "local",
     queue_dir: str | None = None,
+    telemetry: Telemetry | None = None,
 ) -> CampaignResult:
     """Run (or load from cache) the paper campaign for ``config``.
 
@@ -609,7 +652,7 @@ def run_campaign(
     plog = _ProgressLog(progress_path)
     try:
         return _run_campaign_inner(
-            config, cache, plog, triples, broker, progress
+            config, cache, plog, triples, broker, progress, telemetry
         )
     finally:
         plog.close()
@@ -623,6 +666,7 @@ def _run_campaign_inner(
     triples: list[HeuristicTriple],
     broker: "Broker",
     progress: bool,
+    telemetry: Telemetry | None = None,
 ) -> CampaignResult:
     wanted = config.cell_specs(triples)
     scores = _execute_cells(
@@ -631,6 +675,7 @@ def _run_campaign_inner(
         plog=plog,
         broker=broker,
         progress=progress,
+        telemetry=telemetry,
         start_extra={
             "logs": list(config.logs),
             "n_jobs": config.n_jobs,
@@ -656,9 +701,12 @@ def _execute_cells(
     broker: "Broker",
     progress: bool,
     start_extra: dict | None = None,
+    telemetry: Telemetry | None = None,
+    durations: dict[str, float] | None = None,
 ) -> dict[str, float]:
     """The shared execution core: warm-load from the cache, dispatch the
     remainder through the broker, return spec-digest -> score."""
+    tele = telemetry if telemetry is not None else NOOP
     tokens = {spec.digest(): cell_token(spec) for spec in cells}
     scores: dict[str, float] = {}
     pending: list[CellSpec] = []
@@ -668,6 +716,9 @@ def _execute_cells(
             pending.append(spec)
         else:
             scores[spec.digest()] = value
+    if tele.enabled:
+        tele.inc("campaign.cells.total", len(cells))
+        tele.inc("campaign.cells.cached", len(cells) - len(pending))
     plog.emit(
         {
             "event": "start",
@@ -680,26 +731,32 @@ def _execute_cells(
     if pending:
         done = 0
 
-        def record(spec: CellSpec, score: float) -> None:
+        def record(
+            spec: CellSpec, score: float, seconds: float | None = None
+        ) -> None:
             nonlocal done
             done += 1
             scores[spec.digest()] = score
             cache.put(tokens[spec.digest()], score)
-            plog.emit(
-                {
-                    "event": "cell",
-                    "log": spec.workload.log,
-                    "triple": spec.label,
-                    "seed": spec.workload.seed,
-                    "avebsld": score,
-                    "done": done,
-                    "total": len(pending),
-                }
-            )
+            if seconds is not None and durations is not None:
+                durations[spec.digest()] = seconds
+            event = {
+                "event": "cell",
+                "log": spec.workload.log,
+                "triple": spec.label,
+                "seed": spec.workload.seed,
+                "avebsld": score,
+                "done": done,
+                "total": len(pending),
+            }
+            if seconds is not None:
+                event["seconds"] = round(seconds, 4)
+            plog.emit(event)
             if progress and done % 50 == 0:
                 print(f"  campaign: {done}/{len(pending)} simulations done")
 
-        broker.dispatch(pending, record, emit=plog.emit)
+        with tele.span("campaign.dispatch", pending=len(pending)):
+            broker.dispatch(pending, record, emit=plog.emit, telemetry=telemetry)
         cache.flush()
     missing = [spec for spec in cells if spec.digest() not in scores]
     if missing:

@@ -12,6 +12,10 @@ from typing import Sequence
 
 import numpy as np
 
+from ..obs import get_logger
+
+_log = get_logger("reporting")
+
 __all__ = [
     "format_table",
     "ascii_scatter",
@@ -30,17 +34,30 @@ def format_percent(value: float) -> str:
 
 
 def load_progress(path: str) -> list[dict]:
-    """Parse a campaign progress JSONL stream (tolerates torn tail lines)."""
+    """Parse a campaign progress JSONL stream (tolerates torn tail lines).
+
+    Lines that fail to parse, or parse to something other than an
+    object, are skipped and counted -- a live writer's partial append or
+    a corrupted stream must never take the reader down.
+    """
     events: list[dict] = []
+    skipped = 0
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                event = json.loads(line)
             except json.JSONDecodeError:
-                continue  # partial trailing write from a live campaign
+                skipped += 1  # partial trailing write from a live campaign
+                continue
+            if not isinstance(event, dict):
+                skipped += 1
+                continue
+            events.append(event)
+    if skipped:
+        _log.warning("skipped %d unparseable line(s) in %s", skipped, path)
     return events
 
 
@@ -99,7 +116,14 @@ def load_progress_dir(directory: str) -> list[dict]:
         if not name.endswith(".jsonl"):
             continue
         stem = name[: -len(".jsonl")]
-        for event in load_progress(os.path.join(directory, name)):
+        try:
+            stream = load_progress(os.path.join(directory, name))
+        except OSError as exc:
+            # directory expansion is racy: a worker may rotate or remove
+            # its stream between listdir and open
+            _log.warning("could not read progress stream %s: %s", name, exc)
+            continue
+        for event in stream:
             events.append(event if "worker" in event else {**event, "worker": stem})
     return events
 

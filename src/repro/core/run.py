@@ -14,8 +14,10 @@ Kept as module-level functions with picklable signatures so
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..metrics.slowdown import DEFAULT_TAU, average_bounded_slowdown
+from ..obs.telemetry import Telemetry
 from ..sim.results import SimulationResult
 from ..sim.session import SimSession
 from ..spec import CellSpec, WorkloadSpec, filter_registry
@@ -28,6 +30,7 @@ __all__ = [
     "build_workload",
     "run_spec",
     "run_cell",
+    "run_cell_report",
     "run_triple_on_trace",
     "run_triple",
 ]
@@ -83,8 +86,15 @@ def build_workload(workload: WorkloadSpec) -> Trace:
     return trace
 
 
-def run_spec(spec: CellSpec) -> RunOutcome:
-    """Run one fully-specified cell.  Deterministic in the spec."""
+def run_spec(spec: CellSpec, telemetry: Telemetry | None = None) -> RunOutcome:
+    """Run one fully-specified cell.  Deterministic in the spec.
+
+    ``telemetry`` (optional) receives the engine/predictor counters of
+    the run plus the cell's wall/build time split; passing one never
+    changes the schedule (instrumentation is observation-only).
+    """
+    tele = telemetry
+    t0 = perf_counter() if tele is not None and tele.enabled else 0.0
     trace = build_workload(spec.workload)
     scheduler, predictor, corrector = spec.build_components()
     session = SimSession(
@@ -94,9 +104,23 @@ def run_spec(spec: CellSpec) -> RunOutcome:
         corrector,
         min_prediction=spec.min_prediction,
         trace_name=trace.name,
+        telemetry=tele,
     )
-    session.feed(trace)
-    session.drain()
+    if tele is not None and tele.enabled:
+        tele.inc("engine.time.build.seconds", perf_counter() - t0)
+        with tele.span(
+            "engine.cell",
+            log=spec.workload.log,
+            label=spec.label,
+            seed=spec.workload.seed,
+        ):
+            session.feed(trace)
+            session.drain()
+        tele.inc("engine.cells")
+        tele.inc("engine.time.wall.seconds", perf_counter() - t0)
+    else:
+        session.feed(trace)
+        session.drain()
     result = session.result()
     return RunOutcome(
         log=spec.workload.log,
@@ -119,6 +143,27 @@ def run_cell(spec: CellSpec) -> float:
     executor can dispatch it; deterministic in its argument.
     """
     return run_spec(spec).avebsld
+
+
+def run_cell_report(
+    spec: CellSpec, with_telemetry: bool = False
+) -> tuple[float, dict]:
+    """:func:`run_cell` plus a picklable sidecar report.
+
+    The report always carries ``seconds`` (cell wall time); with
+    ``with_telemetry`` it also carries ``telemetry`` -- the snapshot of
+    a cell-local registry, ready for the coordinator process to fold in
+    with :meth:`repro.obs.telemetry.Telemetry.merge_snapshot`.  Pool
+    executors ship this dict home instead of a live registry because
+    worker processes share no memory with the coordinator.
+    """
+    tele = Telemetry(component="cell") if with_telemetry else None
+    t0 = perf_counter()
+    outcome = run_spec(spec, telemetry=tele)
+    report: dict = {"seconds": perf_counter() - t0}
+    if tele is not None:
+        report["telemetry"] = tele.snapshot()
+    return outcome.avebsld, report
 
 
 def run_triple_on_trace(
@@ -152,6 +197,7 @@ def run_triple(
     seed: int | None = None,
     min_prediction: float = 60.0,
     tau: float = DEFAULT_TAU,
+    telemetry: Telemetry | None = None,
 ) -> RunOutcome:
     """Legacy positional entry point; lowers to :func:`run_spec`.
 
@@ -168,7 +214,7 @@ def run_triple(
         min_prediction=min_prediction,
         tau=tau,
     )
-    outcome = run_spec(spec)
+    outcome = run_spec(spec, telemetry=telemetry)
     # reports expect the legacy key spelling here, not the spec label
     return RunOutcome(
         log=outcome.log,

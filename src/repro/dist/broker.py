@@ -27,17 +27,21 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Sequence
 
 from ..core.campaign import parse_cache_record
+from ..obs import get_logger
+from ..obs.telemetry import NOOP, Telemetry
 from ..spec import CellSpec
 from .fsqueue import DEFAULT_LEASE_TTL, DEFAULT_MAX_ATTEMPTS, FsQueue
 from .merge import merge_caches
-from .shards import DEFAULT_CELLS_PER_SHARD, plan_shards
+from .shards import DEFAULT_CELLS_PER_SHARD, load_bench_cost_model, plan_shards
 
 __all__ = ["Broker", "LocalBroker", "FsQueueBroker", "resolve_backend"]
 
-#: on_result(cell_spec, avebsld)
-ResultCallback = Callable[[CellSpec, float], None]
+#: on_result(cell_spec, avebsld, wall_seconds | None)
+ResultCallback = Callable[..., None]
 #: emit(progress_event_dict)
 EmitCallback = Callable[[dict], None]
+
+_log = get_logger("dist.coordinator")
 
 
 class Broker(ABC):
@@ -49,11 +53,16 @@ class Broker(ABC):
         cells: Sequence[CellSpec],
         on_result: ResultCallback,
         emit: EmitCallback | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         """Simulate every cell, calling ``on_result`` as each finishes.
 
-        Must deliver each cell exactly once (dedup is the broker's job)
-        and raise if any cell cannot be produced.
+        ``on_result(spec, score)`` or ``on_result(spec, score, seconds)``
+        when the broker measured the cell's wall time.  Must deliver each
+        cell exactly once (dedup is the broker's job) and raise if any
+        cell cannot be produced.  ``telemetry`` (optional) receives the
+        broker's own dispatch counters; brokers that run cells in this
+        process tree also fold per-cell engine metrics into it.
         """
 
 
@@ -68,23 +77,57 @@ class LocalBroker(Broker):
         cells: Sequence[CellSpec],
         on_result: ResultCallback,
         emit: EmitCallback | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         from ..core.campaign import _run_one
+
+        tele = telemetry if telemetry is not None else NOOP
+        with_tel = tele.enabled
+        # bench-seeded estimates (the shard planner's model) let the
+        # telemetry compare each cell's actual seconds to its estimate
+        cost_model = load_bench_cost_model() if with_tel else None
+
+        def deliver(spec: CellSpec, score: float, report: dict) -> None:
+            seconds = report.get("seconds")
+            if with_tel:
+                tele.inc("campaign.cells.simulated")
+                if seconds is not None:
+                    tele.observe("campaign.cell.seconds", seconds)
+                est = cost_model.cell_cost(spec)
+                tele.observe("campaign.cell.est_seconds", est)
+                snap = report.get("telemetry")
+                if snap:
+                    tele.merge_snapshot(snap)
+                tele.event(
+                    "cell",
+                    log=spec.workload.log,
+                    label=spec.label,
+                    seed=spec.workload.seed,
+                    seconds=None if seconds is None else round(seconds, 6),
+                    est_seconds=round(est, 4),
+                    avebsld=score,
+                )
+            on_result(spec, score, seconds)
 
         jobs = list(cells)
         workers = self.workers
         if workers is None:
             cpu = os.cpu_count() or 1
             workers = max(1, min(cpu - 1, 16))
+        _log.info(
+            "local dispatch: %d cell(s) over %d worker(s)", len(jobs), workers
+        )
         if workers <= 1 or len(jobs) <= 2:
-            for spec, score in map(_run_one, jobs):
-                on_result(spec, score)
+            for job in jobs:
+                deliver(*_run_one(job, with_telemetry=with_tel))
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_one, job) for job in jobs]
+                futures = [
+                    pool.submit(_run_one, job, with_telemetry=with_tel)
+                    for job in jobs
+                ]
                 for future in as_completed(futures):
-                    spec, score = future.result()
-                    on_result(spec, score)
+                    deliver(*future.result())
 
 
 class FsQueueBroker(Broker):
@@ -126,9 +169,11 @@ class FsQueueBroker(Broker):
         cells: Sequence[CellSpec],
         on_result: ResultCallback,
         emit: EmitCallback | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         from ..core.campaign import cell_token
 
+        tele = telemetry if telemetry is not None else NOOP
         emit = emit or (lambda event: None)
         queue = FsQueue.create(self.queue_dir, lease_ttl=self.lease_ttl)
         queue.check_versions()
@@ -150,6 +195,8 @@ class FsQueueBroker(Broker):
                 seen.add(token)
                 on_result(token_map[token], value)
                 fresh += 1
+            if fresh:
+                tele.inc("dist.cells.harvested", fresh)
             return fresh
 
         # A previous coordinator may have died with results on disk that
@@ -178,6 +225,18 @@ class FsQueueBroker(Broker):
         for shard in shards:
             queue.enqueue(shard.manifest())
         own = {shard.shard_id for shard in shards}
+        tele.inc("dist.shards.enqueued", len(shards))
+        tele.inc("dist.cells.enqueued", len(remaining))
+        tele.event(
+            "enqueue",
+            generation=generation,
+            shards=len(shards),
+            cells=len(remaining),
+        )
+        _log.info(
+            "enqueued %d shard(s) / %d cell(s) on %s (generation %d)",
+            len(shards), len(remaining), queue.root, generation,
+        )
         emit(
             {
                 "event": "enqueue",
@@ -195,9 +254,15 @@ class FsQueueBroker(Broker):
             for shard_id, attempt, disposition in queue.requeue_expired(
                 lease_ttl=self.lease_ttl, max_attempts=self.max_attempts
             ):
+                requeued = disposition == "requeued"
+                tele.inc("dist.requeues" if requeued else "dist.shards.failed")
+                _log.warning(
+                    "shard %s (attempt %d) lease expired: %s",
+                    shard_id, attempt, disposition,
+                )
                 emit(
                     {
-                        "event": "requeue" if disposition == "requeued" else "shard_failed",
+                        "event": "requeue" if requeued else "shard_failed",
                         "shard": shard_id,
                         "attempt": attempt,
                     }
@@ -241,6 +306,17 @@ class FsQueueBroker(Broker):
                 f"surfaced in {queue.root}/results -- first: {missing[0]!r}"
             )
         queue.signal("DONE", {"generation": generation})
+        tele.inc("dist.campaigns.completed")
+        tele.event(
+            "dist_done",
+            shards=len(shards),
+            cells=len(remaining),
+            merge=report.describe(),
+        )
+        _log.info(
+            "distributed campaign done: %d shard(s), %d cell(s); %s",
+            len(shards), len(remaining), report.describe(),
+        )
         emit(
             {
                 "event": "dist_done",

@@ -37,6 +37,9 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..core.campaign import iter_cache_records
+from ..obs import get_logger
+
+_log = get_logger("dist.merge")
 
 __all__ = [
     "MergeReport",
@@ -168,10 +171,13 @@ def merge_caches(
             else:
                 cells[token] = value
                 first_seen[token] = path
+        if torn:
+            _log.warning("skipped %d torn line(s) in %s", torn, path)
         report.per_file[path] = len(records)
         report.records += len(records)
         report.torn_lines += torn
     report.unique = len(cells)
+    _log.info("%s", report.describe())
     if out_path is not None:
         write_canonical(cells, out_path)
     return cells, report

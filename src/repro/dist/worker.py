@@ -33,6 +33,8 @@ import time
 from dataclasses import dataclass, field
 
 from ..core.campaign import ProgressLog, iter_cache_records
+from ..obs import JsonlTraceSink, Telemetry, get_logger
+from ..obs.telemetry import NOOP
 from .fsqueue import (
     DEFAULT_LEASE_TTL,
     FsQueue,
@@ -43,6 +45,8 @@ from .fsqueue import (
 )
 
 __all__ = ["WorkerStats", "run_worker", "default_worker_id"]
+
+_log = get_logger("dist.worker")
 
 
 def default_worker_id() -> str:
@@ -75,17 +79,25 @@ class _Heartbeat(threading.Thread):
     :attr:`lost`, which the cell loop converts into an orderly abandon.
     """
 
-    def __init__(self, queue: FsQueue, lease: Lease, interval: float) -> None:
+    def __init__(
+        self,
+        queue: FsQueue,
+        lease: Lease,
+        interval: float,
+        telemetry: Telemetry = NOOP,
+    ) -> None:
         super().__init__(daemon=True, name=f"heartbeat-{lease.shard_id}")
         self.queue = queue
         self.lease = lease
         self.interval = interval
+        self.telemetry = telemetry
         self.lost = False
         # NB: not named _stop -- that would shadow threading.Thread's
         # internal _stop() method and break join()
         self._halt = threading.Event()
 
     def run(self) -> None:
+        last_beat = time.monotonic()
         while not self._halt.wait(self.interval):
             try:
                 self.queue.renew(self.lease)
@@ -93,7 +105,16 @@ class _Heartbeat(threading.Thread):
                 self.lost = True
                 return
             except OSError:
-                pass  # transient fs hiccup; retry next beat
+                continue  # transient fs hiccup; retry next beat
+            if self.telemetry.enabled:
+                now = time.monotonic()
+                # age of the heartbeat when it landed: how close the
+                # lease's mtime came to looking dead before this renewal
+                self.telemetry.observe(
+                    "worker.heartbeat.age.seconds", now - last_beat
+                )
+                self.telemetry.inc("worker.lease.renewals")
+                last_beat = now
 
     def stop(self) -> None:
         self._halt.set()
@@ -107,11 +128,17 @@ def run_worker(
     max_idle: float | None = None,
     max_shards: int | None = None,
     echo: bool = False,
+    telemetry_dir: str | None = None,
 ) -> WorkerStats:
     """Claim-and-simulate until the queue is finished (see module doc).
 
     ``max_idle=None`` waits for a DONE/STOP marker forever; a float exits
     after that many seconds without claimable work (0 drains and exits).
+    ``telemetry_dir`` enables per-worker counters (claims, simulated vs
+    cached cells, lease renewals, heartbeat ages, per-cell seconds) and
+    writes ``metrics-worker-<id>.{json,prom}`` plus a span trace there on
+    clean exit -- a SIGKILLed worker leaves no snapshot, which is exactly
+    the signal the smoke reconciliation relies on.
     """
     from ..core.run import run_cell
 
@@ -131,10 +158,22 @@ def run_worker(
     meta = queue.check_versions()  # refuse version-skewed queues up front
     worker_id = sanitize_id(worker_id or default_worker_id())
     stats = WorkerStats(worker_id=worker_id)
+    component = f"worker-{worker_id}"
+    if telemetry_dir:
+        tele = Telemetry(
+            component=component,
+            trace=JsonlTraceSink(
+                os.path.join(telemetry_dir, f"trace-{component}.jsonl")
+            ),
+        )
+    else:
+        tele = NOOP
     progress_path = queue.progress_path(worker_id)
     progress = ProgressLog(progress_path, echo=echo, worker=worker_id, append=True)
     progress.emit({"event": "worker_start", "queue": queue.root,
                    "lease_ttl": meta.get("lease_ttl")})
+    _log.info("worker %s serving queue %s", worker_id, queue.root)
+    tele.event("worker_start", queue=queue.root)
     # the progress file was just written on the *queue's* filesystem, so
     # its mtime is a start-of-service stamp on the same clock that
     # stamps DONE markers -- immune to cross-host wall-clock skew
@@ -197,6 +236,7 @@ def run_worker(
             _run_shard(
                 queue, lease, run_cell, progress, stats,
                 heartbeat_interval=max(0.05, lease_ttl / 4.0),
+                telemetry=tele,
             )
             if max_shards is not None and stats.shards >= max_shards:
                 stats.reason = "max-shards"
@@ -213,6 +253,15 @@ def run_worker(
             }
         )
         progress.close()
+        _log.info(
+            "worker %s exiting (%s): %d shard(s), %d cell(s) simulated",
+            worker_id, stats.reason or "error", stats.shards, stats.cells,
+        )
+        if tele.enabled:
+            tele.event("worker_exit", reason=stats.reason or "error")
+            if telemetry_dir:
+                tele.write(telemetry_dir)
+            tele.close()
     return stats
 
 
@@ -223,6 +272,7 @@ def _run_shard(
     progress: ProgressLog,
     stats: WorkerStats,
     heartbeat_interval: float = DEFAULT_LEASE_TTL / 4.0,
+    telemetry: Telemetry = NOOP,
 ) -> None:
     """Simulate one claimed shard; never raises on a lost lease."""
     from ..core.campaign import ResultCache, cell_token
@@ -238,6 +288,14 @@ def _run_shard(
             f"{shard_spec_version!r}, this worker speaks {SPEC_VERSION}"
         )
     cells = [CellSpec.from_obj(cell) for cell in manifest["cells"]]
+    telemetry.inc("worker.claims")
+    telemetry.event(
+        "claim", shard=lease.shard_id, attempt=lease.attempt, cells=len(cells)
+    )
+    _log.debug(
+        "claimed shard %s (attempt %d, %d cells)",
+        lease.shard_id, lease.attempt, len(cells),
+    )
     progress.emit(
         {
             "event": "claim",
@@ -256,7 +314,7 @@ def _run_shard(
     cache = ResultCache(queue.result_path(lease.shard_id, lease.attempt))
     started = time.monotonic()
     ran = 0
-    heartbeat = _Heartbeat(queue, lease, heartbeat_interval)
+    heartbeat = _Heartbeat(queue, lease, heartbeat_interval, telemetry=telemetry)
     heartbeat.start()
     try:
         for spec in cells:
@@ -265,12 +323,18 @@ def _run_shard(
             token = cell_token(spec)
             if token in proven or cache.get(token) is not None:
                 stats.cached_cells += 1
+                telemetry.inc("worker.cells.cached")
                 continue
+            cell_t0 = time.monotonic()
             value = run_cell(spec)
+            cell_seconds = time.monotonic() - cell_t0
             cache.put(token, value)
             ran += 1
             stats.cells += 1
+            telemetry.inc("worker.cells.simulated")
+            telemetry.observe("worker.cell.seconds", cell_seconds)
             queue.renew(lease)  # heartbeat; raises LeaseLost if re-queued
+            telemetry.inc("worker.lease.renewals")
             progress.emit(
                 {
                     "event": "cell",
@@ -279,12 +343,24 @@ def _run_shard(
                     "triple": spec.label,
                     "seed": spec.workload.seed,
                     "avebsld": value,
+                    "seconds": round(cell_seconds, 4),
                 }
             )
         heartbeat.stop()
         queue.complete(lease)
     except LeaseLost:
         stats.abandoned += 1
+        telemetry.inc("worker.shards.abandoned")
+        telemetry.event(
+            "shard_abandoned",
+            shard=lease.shard_id,
+            attempt=lease.attempt,
+            cells_run=ran,
+        )
+        _log.warning(
+            "abandoning shard %s (attempt %d): lease re-queued",
+            lease.shard_id, lease.attempt,
+        )
         progress.emit(
             {
                 "event": "shard_abandoned",
@@ -299,6 +375,16 @@ def _run_shard(
         cache.close()
     stats.shards += 1
     stats.completed.append(lease.shard_id)
+    shard_seconds = time.monotonic() - started
+    telemetry.inc("worker.shards.completed")
+    telemetry.observe("worker.shard.seconds", shard_seconds)
+    telemetry.event(
+        "shard_done",
+        shard=lease.shard_id,
+        attempt=lease.attempt,
+        cells_run=ran,
+        seconds=round(shard_seconds, 3),
+    )
     progress.emit(
         {
             "event": "shard_done",
@@ -306,6 +392,6 @@ def _run_shard(
             "attempt": lease.attempt,
             "cells_run": ran,
             "cells_cached": len(cells) - ran,
-            "seconds": round(time.monotonic() - started, 3),
+            "seconds": round(shard_seconds, 3),
         }
     )

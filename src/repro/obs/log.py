@@ -1,0 +1,73 @@
+"""Shared logging setup for every repro component.
+
+All repro loggers live under the ``"repro"`` namespace.  The level is
+resolved, in priority order, from an explicit ``level`` argument, the
+``REPRO_LOG`` environment variable (a name like ``debug`` or a number),
+and finally ``WARNING``.  ``setup_logging`` is idempotent: repeated
+calls (CLI entry + library users) reconfigure the level but attach one
+handler only.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["get_logger", "setup_logging", "resolve_level"]
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s: %(message)s"
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def resolve_level(level: int | str | None = None, verbosity: int = 0) -> int:
+    """Pick the effective level from arg > verbosity > REPRO_LOG > WARNING."""
+    if level is None and verbosity > 0:
+        level = logging.DEBUG if verbosity > 1 else logging.INFO
+    if level is None:
+        level = os.environ.get("REPRO_LOG") or logging.WARNING
+    if isinstance(level, str):
+        name = level.strip().upper()
+        if name.isdigit():
+            return int(name)
+        resolved = logging.getLevelName(name)
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        return resolved
+    return int(level)
+
+
+def setup_logging(
+    level: int | str | None = None,
+    *,
+    verbosity: int = 0,
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger; returns it.
+
+    ``verbosity`` maps the CLI's ``-v`` count (1 -> INFO, 2+ -> DEBUG);
+    an explicit ``level`` or ``REPRO_LOG`` wins per :func:`resolve_level`.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(resolve_level(level, verbosity))
+    handler = next(
+        (h for h in root.handlers if getattr(h, _HANDLER_FLAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        setattr(handler, _HANDLER_FLAG, True)
+        root.addHandler(handler)
+        # stderr output is repro's to manage; don't double-log through
+        # whatever handlers the application root may have
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the shared ``repro`` namespace."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

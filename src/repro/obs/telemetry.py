@@ -1,0 +1,316 @@
+"""The instrumentation core: counters, gauges, histograms, timed spans.
+
+Design constraints, in priority order:
+
+1. **Near-zero overhead when off.**  Every instrumented hot path is
+   written as ``if tele.enabled: ...`` against either a real
+   :class:`Telemetry` or the module-level :data:`NOOP` singleton, so the
+   disabled cost is one attribute load and a branch.  The engine bench
+   gate (``benchmarks/bench_engine.py``) measures exactly this path.
+2. **Mergeable.**  Campaign cells run in pool worker *processes*;
+   their metrics come home as plain-dict snapshots and are folded into
+   the coordinator's registry with :meth:`Telemetry.merge_snapshot`.
+   Histograms therefore use power-of-two buckets keyed by exponent --
+   two histograms merge by summing bucket counts, with no bucket-edge
+   negotiation.
+3. **Dependency-free.**  ``repro.obs`` imports nothing from the rest of
+   the package, so any layer (sim, dist, serve, cli) may import it
+   without cycles.
+
+A :class:`Telemetry` is also the in-memory aggregator used by tests:
+``counter_value``/``histogram``/``snapshot`` expose everything recorded.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from .sinks import JsonlTraceSink
+
+__all__ = ["Histogram", "Telemetry", "NOOP"]
+
+#: bucket index for values <= 0 (log buckets cannot hold them).
+_ZERO_BUCKET = -1075  # below the exponent of the smallest positive float
+
+
+def bucket_index(value: float) -> int:
+    """The log2 bucket holding ``value``: smallest e with value <= 2**e."""
+    if value <= 0.0:
+        return _ZERO_BUCKET
+    mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+    # frexp keeps 0.5 <= mantissa < 1, so 2**exponent >= value always;
+    # exact powers of two (mantissa == 0.5) belong one bucket down
+    return exponent - 1 if mantissa == 0.5 else exponent
+
+
+def bucket_bound(index: int) -> float:
+    """Inclusive upper bound of bucket ``index`` (0.0 for the zero bucket)."""
+    if index <= _ZERO_BUCKET:
+        return 0.0
+    return math.ldexp(1.0, index)
+
+
+class Histogram:
+    """A mergeable log2-bucketed histogram with count/sum/min/max.
+
+    Bucket ``e`` holds values in ``(2**(e-1), 2**e]``; values <= 0 land
+    in a dedicated zero bucket.  Buckets are created on first touch, so
+    an idle histogram costs one small dict.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return min(bucket_bound(index), self.max)
+        return self.max
+
+    def to_obj(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            # JSON object keys must be strings
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def merge_obj(self, obj: dict) -> None:
+        """Fold a :meth:`to_obj` snapshot (same bucketing) into this one."""
+        self.count += int(obj.get("count", 0))
+        self.total += float(obj.get("sum", 0.0))
+        lo, hi = obj.get("min"), obj.get("max")
+        if lo is not None and lo < self.min:
+            self.min = float(lo)
+        if hi is not None and hi > self.max:
+            self.max = float(hi)
+        for key, n in obj.get("buckets", {}).items():
+            index = int(key)
+            self.buckets[index] = self.buckets.get(index, 0) + int(n)
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Histogram":
+        hist = cls()
+        hist.merge_obj(obj)
+        return hist
+
+
+class _Span:
+    """Context manager timing one operation; emitted as a histogram
+    observation (``<name>.seconds``) plus an optional trace event."""
+
+    __slots__ = ("_telemetry", "name", "fields", "seconds", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str, fields: dict) -> None:
+        self._telemetry = telemetry
+        self.name = name
+        self.fields = fields
+        self.seconds = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._t0
+        tele = self._telemetry
+        tele.observe(f"{self.name}.seconds", self.seconds)
+        tele.event(
+            "span",
+            name=self.name,
+            seconds=round(self.seconds, 6),
+            ok=exc_type is None,
+            **self.fields,
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+    name = ""
+    fields: dict = {}
+    seconds = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Telemetry:
+    """A named registry of counters, gauges and histograms.
+
+    Thread-safe (serve and the worker heartbeat record from multiple
+    threads); cheap enough for per-event counters when enabled, and free
+    (one ``enabled`` check) when not.  ``trace`` is an optional
+    :class:`repro.obs.sinks.JsonlTraceSink` receiving span/``event``
+    records as they happen.
+    """
+
+    def __init__(
+        self,
+        component: str = "repro",
+        enabled: bool = True,
+        trace: "JsonlTraceSink | None" = None,
+    ) -> None:
+        self.component = component
+        self.enabled = enabled
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._trace = trace
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            if value > self._gauges.get(name, -math.inf):
+                self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
+
+    def span(self, name: str, **fields):
+        """Time a block: ``with tele.span("campaign.dispatch"): ...``."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _Span(self, name, fields)
+
+    def event(self, kind: str, **fields) -> None:
+        """Append one record to the trace sink (no-op without a sink)."""
+        if not self.enabled or self._trace is None:
+            return
+        record = {"kind": kind, "component": self.component}
+        record.update(fields)
+        self._trace.write(record)
+
+    # -- reading (tests, renderers) ----------------------------------------
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        return self._counters.get(name, default)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def names(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._histograms
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-serialisable copy of everything recorded."""
+        with self._lock:
+            return {
+                "component": self.component,
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: hist.to_obj()
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histograms add; gauges keep the max (the only
+        cross-process reduction that is order-independent).  This is how
+        per-cell metrics travel home from pool worker processes.
+        """
+        if not self.enabled or not snap:
+            return
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0.0) + value
+            for name, value in snap.get("gauges", {}).items():
+                if value > self._gauges.get(name, -math.inf):
+                    self._gauges[name] = float(value)
+            for name, obj in snap.get("histograms", {}).items():
+                hist = self._histograms.get(name)
+                if hist is None:
+                    hist = self._histograms[name] = Histogram()
+                hist.merge_obj(obj)
+
+    # -- output ------------------------------------------------------------
+    def prom_text(self) -> str:
+        """Prometheus text exposition of the current state."""
+        from .sinks import prom_text
+
+        return prom_text(self.snapshot())
+
+    def write(self, directory: str) -> str:
+        """Write ``metrics-<component>.json`` + ``.prom`` under ``directory``."""
+        from .sinks import write_snapshot
+
+        return write_snapshot(self.snapshot(), directory)
+
+    def close(self) -> None:
+        if self._trace is not None:
+            self._trace.close()
+
+
+#: The shared disabled registry: every method returns immediately after
+#: one ``enabled`` check, so hot paths can hold it unconditionally.
+NOOP = Telemetry(component="noop", enabled=False)

@@ -124,6 +124,17 @@ class Scheduler(ABC):
         return starts
 
     # -- introspection -------------------------------------------------------
+    def introspect(self) -> dict[str, float]:
+        """Sizes of the scheduler's internal availability structures.
+
+        Sampled by the session once per scheduling pass when telemetry
+        is enabled (surfaced as ``engine.sched.<key>`` histograms), so
+        implementations must keep this O(1) and side-effect-free.  The
+        base scheduler has no structure beyond the queue -- which the
+        session samples itself -- so the default is empty.
+        """
+        return {}
+
     @property
     def queue(self) -> tuple[JobRecord, ...]:
         """Waiting jobs in priority order (read-only view)."""

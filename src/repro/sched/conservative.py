@@ -97,6 +97,11 @@ class ConservativeScheduler(Scheduler):
             self._base.resync(machine, now)
 
     # -- session queries ------------------------------------------------------
+    def introspect(self) -> dict[str, float]:
+        """Segment count of the base profile = per-pass sweep length."""
+        segments = 0 if self._base is None else self._base.n_segments
+        return {"profile_segments": float(segments)}
+
     def estimated_starts(self, now, machine, extra=()):
         """Exact reservation starts, in this scheduler's own order.
 

@@ -125,6 +125,10 @@ class EasyScheduler(Scheduler):
         )
 
     # -- session queries ------------------------------------------------------
+    def introspect(self) -> dict[str, float]:
+        """Release-table length = the sweep a shadow-time query may walk."""
+        return {"release_table": float(len(self._releases))}
+
     def estimated_starts(self, now, machine, extra=()):
         """Guaranteed-start estimates served from the release table.
 

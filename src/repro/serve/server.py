@@ -50,8 +50,12 @@ import time as _time
 from dataclasses import dataclass, fields
 from typing import IO, Any
 
+from ..obs import get_logger
+from ..obs.telemetry import NOOP, Telemetry
 from ..sim.session import MachineEvent, MonotonicityError, SimSession
 from ..workload.job import Job
+
+_log = get_logger("serve")
 
 __all__ = ["SessionServer", "ServeStats", "build_serve_session", "serve_loop"]
 
@@ -77,8 +81,14 @@ def build_serve_session(
     corrector: str | None = "incremental",
     min_prediction: float = 60.0,
     name: str = "serve",
+    telemetry: Telemetry | None = None,
 ) -> SimSession:
-    """Wire a live session from component registry names."""
+    """Wire a live session from component registry names.
+
+    Passing ``telemetry`` shares one registry between the engine and the
+    serving layer, so a served session's snapshot carries engine event
+    counters next to the request-latency histograms.
+    """
     from ..correct import make_corrector
     from ..predict import make_predictor
     from ..sched import make_scheduler
@@ -93,6 +103,7 @@ def build_serve_session(
         built_corrector,
         min_prediction=min_prediction,
         trace_name=name,
+        telemetry=telemetry,
     )
 
 
@@ -113,10 +124,18 @@ def _parse_job(payload: Any) -> Job:
 
 
 class SessionServer:
-    """Dispatches parsed protocol commands onto one live session."""
+    """Dispatches parsed protocol commands onto one live session.
 
-    def __init__(self, session: SimSession) -> None:
+    ``telemetry`` (optional) records per-request latency histograms,
+    per-command counters and the warm-vs-cold split of query answers
+    (warm = served from the session's memoised start estimates).
+    """
+
+    def __init__(
+        self, session: SimSession, telemetry: Telemetry | None = None
+    ) -> None:
         self.session = session
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self.stats = ServeStats()
         self.closed = False
 
@@ -134,24 +153,38 @@ class SessionServer:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
             self.stats.n_errors += 1
+            self.telemetry.inc("serve.errors")
             return {"ok": False, "error": f"bad JSON: {exc}"}
         return self.handle(request)
 
     def handle(self, request: Any) -> dict:
         self.stats.n_requests += 1
+        tele = self.telemetry
+        if tele.enabled:
+            tele.inc("serve.requests.total")
         if not isinstance(request, dict) or "cmd" not in request:
             self.stats.n_errors += 1
+            tele.inc("serve.errors")
             return {"ok": False, "error": "request must be an object with a 'cmd'"}
         cmd = request["cmd"]
         handler = getattr(self, f"_cmd_{cmd}", None)
         if handler is None:
             self.stats.n_errors += 1
+            tele.inc("serve.errors")
             return {"ok": False, "cmd": cmd, "error": f"unknown command {cmd!r}"}
+        t0 = _time.perf_counter() if tele.enabled else 0.0
         try:
             response = handler(request)
         except (ValueError, KeyError, TypeError, MonotonicityError) as exc:
             self.stats.n_errors += 1
+            if tele.enabled:
+                tele.inc("serve.errors")
+                tele.inc(f"serve.requests.{cmd}")
+            _log.debug("request %r failed: %s", cmd, exc)
             return {"ok": False, "cmd": cmd, "error": str(exc)}
+        if tele.enabled:
+            tele.inc(f"serve.requests.{cmd}")
+            tele.observe("serve.request.seconds", _time.perf_counter() - t0)
         response.setdefault("ok", True)
         response.setdefault("cmd", cmd)
         response.setdefault("now", self.session.now)
@@ -181,15 +214,27 @@ class SessionServer:
         return {"steps": steps}
 
     def _cmd_query(self, request: dict) -> dict:
+        tele = self.telemetry
         t0 = _time.perf_counter()
         if "job_id" in request:
+            if tele.enabled:
+                # warm = the memoised waiting-start table survives from a
+                # previous query at this state; cold pays a profile sweep
+                tele.inc(
+                    "serve.query.warm"
+                    if self.session.query_cache_warm
+                    else "serve.query.cold"
+                )
             answer = self.session.query(job_id=int(request["job_id"]))
         elif "job" in request:
+            tele.inc("serve.query.probe")
             answer = self.session.query(_parse_job(request["job"]))
         else:
             raise ValueError("query needs a 'job_id' or a 'job'")
         elapsed_us = (_time.perf_counter() - t0) * 1e6
         self.stats.n_queries += 1
+        if tele.enabled:
+            tele.observe("serve.query.seconds", elapsed_us / 1e6)
         # a held job (wider than the undrained capacity) estimates inf,
         # which strict JSON cannot carry: send null instead
         finite = math.isfinite(answer.start_time)
@@ -273,14 +318,18 @@ class SessionServer:
 
 
 def serve_loop(
-    session: SimSession, in_stream: IO[str], out_stream: IO[str]
+    session: SimSession,
+    in_stream: IO[str],
+    out_stream: IO[str],
+    telemetry: Telemetry | None = None,
 ) -> ServeStats:
     """Run the JSONL request/response loop until quit or EOF.
 
     One response line is written (and flushed) per non-blank request
     line, so pipe-driven clients can operate in lockstep.
     """
-    server = SessionServer(session)
+    server = SessionServer(session, telemetry=telemetry)
+    _log.info("serve loop started (session %r)", session.trace_name)
     for line in in_stream:
         response = server.handle_line(line)
         if response is None:
@@ -289,4 +338,8 @@ def serve_loop(
         out_stream.flush()
         if server.closed:
             break
+    _log.info(
+        "serve loop ended: %d request(s), %d error(s)",
+        server.stats.n_requests, server.stats.n_errors,
+    )
     return server.stats

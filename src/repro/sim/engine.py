@@ -40,6 +40,7 @@ from .session import SimSession
 
 if TYPE_CHECKING:  # imported for type hints only; avoids an import cycle
     from ..correct.base import Corrector
+    from ..obs.telemetry import Telemetry
     from ..predict.base import Predictor
     from ..sched.base import Scheduler
 
@@ -85,6 +86,7 @@ class Simulator:
         predictor: Predictor,
         corrector: Corrector | None = None,
         min_prediction: float = 60.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if min_prediction <= 0:
             raise ValueError("min_prediction must be positive")
@@ -93,6 +95,7 @@ class Simulator:
         self.predictor = predictor
         self.corrector = corrector
         self.min_prediction = float(min_prediction)
+        self.telemetry = telemetry
         self.stats = EngineStats()
         self._session: SimSession | None = None
 
@@ -105,6 +108,7 @@ class Simulator:
             self.corrector,
             min_prediction=self.min_prediction,
             trace_name=self.trace.name,
+            telemetry=self.telemetry,
         )
         self._session = session
         self.stats = session.stats
@@ -145,6 +149,7 @@ def simulate(
     predictor: Predictor,
     corrector: Corrector | None = None,
     min_prediction: float = 60.0,
+    telemetry: Telemetry | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: one batch run over a session."""
     return Simulator(
@@ -153,4 +158,5 @@ def simulate(
         predictor,
         corrector=corrector,
         min_prediction=min_prediction,
+        telemetry=telemetry,
     ).run()

@@ -53,6 +53,11 @@ class AvailabilityProfile:
 
     # -- queries --------------------------------------------------------------
     @property
+    def n_segments(self) -> int:
+        """Number of step-function segments (profile-sweep length)."""
+        return len(self._times)
+
+    @property
     def terminal_available(self) -> int:
         """Availability of the infinite final segment (steady state).
 

@@ -46,8 +46,10 @@ so a hot session answers repeated queries in microseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable
 
+from ..obs.telemetry import NOOP
 from ..workload.job import Job
 from .events import Event, EventQueue, EventType
 from .machine import Machine
@@ -55,6 +57,7 @@ from .results import JobRecord, SimulationResult
 
 if TYPE_CHECKING:  # imported for type hints only; avoids an import cycle
     from ..correct.base import Corrector
+    from ..obs.telemetry import Telemetry
     from ..predict.base import Predictor
     from ..sched.base import Scheduler
     from .engine import EngineStats
@@ -152,6 +155,7 @@ class SimSession:
         min_prediction: float = 60.0,
         start_time: float = 0.0,
         trace_name: str = "",
+        telemetry: Telemetry | None = None,
     ) -> None:
         from .engine import EngineStats  # local: engine imports this module
 
@@ -159,6 +163,9 @@ class SimSession:
             raise ValueError("min_prediction must be positive")
         if start_time < 0:
             raise ValueError("start_time must be >= 0")
+        #: instrumentation registry; the NOOP singleton keeps every hot
+        #: path at one ``enabled`` check when telemetry is off
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self.scheduler = scheduler
         self.predictor = predictor
         self.corrector = corrector
@@ -195,6 +202,11 @@ class SimSession:
     def n_jobs(self) -> int:
         """Jobs fed so far (waiting + running + finished)."""
         return len(self._records)
+
+    @property
+    def query_cache_warm(self) -> bool:
+        """True when the next waiting-start query is served memoised."""
+        return self._query_cache is not None
 
     def record(self, job_id: int) -> JobRecord:
         """The (live, mutable) record of a fed job."""
@@ -411,6 +423,8 @@ class SimSession:
         record.version += 1  # pending EXPIRE events become stale
         self._machine.finish(job_id, time)
         self.predictor.on_finish(record, time)
+        if self.telemetry.enabled:
+            self._note_prediction_outcome(record, record.observed_runtime)
         self.scheduler.on_finish(record)
         self._query_cache = None
         self._schedule_pass(time)
@@ -448,19 +462,30 @@ class SimSession:
     def _process_timestamp(self, now: float) -> None:
         self._now = now
         self._query_cache = None
+        tele = self.telemetry
         for event in self._events.drain_time(now):
             self.stats.n_events += 1
             if event.kind is EventType.SUBMIT:
+                if tele.enabled:
+                    tele.inc("engine.events.submit")
                 self._handle_submit(self._records[event.job_id], now)
             elif event.kind is EventType.FINISH:
+                if tele.enabled:
+                    tele.inc("engine.events.finish")
                 self._handle_finish(self._records[event.job_id], now)
             elif event.kind is EventType.EXPIRE:
+                if tele.enabled:
+                    tele.inc("engine.events.expire")
                 self._handle_expire(event, self._records[event.job_id], now)
             else:  # MACHINE
+                if tele.enabled:
+                    tele.inc("engine.events.machine")
                 self._handle_machine(self._machine_events.pop(event.job_id), now)
         if self._corrected:
             # one scheduler notification per timestamp: a correction
             # storm costs one structure re-sort/rebuild, not one per job
+            if tele.enabled:
+                tele.observe("engine.expire_storm.size", len(self._corrected))
             self.scheduler.on_corrections(self._corrected)
             self._corrected.clear()
         self._schedule_pass(now)
@@ -469,7 +494,13 @@ class SimSession:
         return min(max(raw, self.min_prediction), requested_time)
 
     def _handle_submit(self, record: JobRecord, now: float) -> None:
-        raw = float(self.predictor.predict(record, now))
+        tele = self.telemetry
+        if tele.enabled:
+            t0 = perf_counter()
+            raw = float(self.predictor.predict(record, now))
+            tele.inc("engine.time.predict.seconds", perf_counter() - t0)
+        else:
+            raw = float(self.predictor.predict(record, now))
         if raw != raw or raw in (float("inf"), float("-inf")):
             raise ValueError(
                 f"predictor {self.predictor.name!r} returned a non-finite "
@@ -488,8 +519,27 @@ class SimSession:
         if not self._machine.is_running(record.job_id):
             return  # stale: the job was completed externally
         self._machine.finish(record.job_id, now)
-        self.predictor.on_finish(record, now)
+        tele = self.telemetry
+        if tele.enabled:
+            t0 = perf_counter()
+            self.predictor.on_finish(record, now)
+            tele.inc("engine.time.predict.seconds", perf_counter() - t0)
+            self._note_prediction_outcome(record, record.runtime)
+        else:
+            self.predictor.on_finish(record, now)
         self.scheduler.on_finish(record)
+
+    def _note_prediction_outcome(self, record: JobRecord, runtime: float) -> None:
+        """Online prediction-quality metrics, recorded as jobs finish."""
+        tele = self.telemetry
+        initial = record.initial_prediction
+        if not initial:
+            return  # never predicted by this session (no SUBMIT processed)
+        tele.inc("predict.finished")
+        error = initial - runtime
+        if error < 0:
+            tele.inc("predict.underestimates")
+        tele.observe("predict.abs_error.seconds", abs(error))
 
     def _handle_expire(self, event: Event, record: JobRecord, now: float) -> None:
         if not self._machine.is_running(record.job_id):
@@ -538,7 +588,29 @@ class SimSession:
 
     def _schedule_pass(self, now: float) -> None:
         self.stats.n_scheduling_passes += 1
-        started = self.scheduler.select_jobs(now, self._machine)
+        tele = self.telemetry
+        if tele.enabled:
+            queued_before = self.scheduler.queue_length
+            t0 = perf_counter()
+            started = self.scheduler.select_jobs(now, self._machine)
+            tele.inc("engine.time.sched.seconds", perf_counter() - t0)
+            tele.inc("engine.sched.passes")
+            n_started = len(started)
+            if n_started:
+                tele.inc("engine.sched.jobs_started", n_started)
+                if self.scheduler.queue_length:
+                    # jobs left waiting means some head was held: every
+                    # start past it this pass came from backfilling (an
+                    # upper bound on true backfills -- phase-1 FCFS
+                    # starts ahead of a later hold are included)
+                    tele.inc("engine.sched.backfill_starts", n_started)
+            elif queued_before:
+                tele.inc("engine.sched.hold_passes")
+            tele.observe("engine.sched.queue_length", queued_before)
+            for key, value in self.scheduler.introspect().items():
+                tele.observe(f"engine.sched.{key}", value)
+        else:
+            started = self.scheduler.select_jobs(now, self._machine)
         for record in started:
             self._machine.start(record, now)
             self.scheduler.on_start(record, now)

@@ -52,8 +52,8 @@ class TestWarmCache:
         """With the cache warm, the runner must never reach a worker."""
         result, cache, _ = warm_campaign
 
-        def boom(args):
-            raise AssertionError(f"simulation dispatched for {args}")
+        def boom(spec, with_telemetry=False):
+            raise AssertionError(f"simulation dispatched for {spec}")
 
         monkeypatch.setattr(campaign_mod, "_run_one", boom)
         again = run_campaign(
@@ -74,9 +74,9 @@ class TestWarmCache:
         calls = []
         real = campaign_mod._run_one
 
-        def counting(args):
-            calls.append(args)
-            return real(args)
+        def counting(spec, with_telemetry=False):
+            calls.append(spec)
+            return real(spec, with_telemetry=with_telemetry)
 
         monkeypatch.setattr(campaign_mod, "_run_one", counting)
         resumed = run_campaign(
@@ -93,9 +93,9 @@ class TestWarmCache:
         calls = []
         real = campaign_mod._run_one
 
-        def counting(args):
-            calls.append(args)
-            return real(args)
+        def counting(spec, with_telemetry=False):
+            calls.append(spec)
+            return real(spec, with_telemetry=with_telemetry)
 
         monkeypatch.setattr(campaign_mod, "_run_one", counting)
         run_campaign(CONFIG, cache_path=str(cache), workers=1, triples=TRIPLES)

@@ -119,3 +119,37 @@ class TestDistProgress:
         (tmp_path / "notes.txt").write_text("ignored")
         events = load_progress_dir(str(tmp_path))
         assert [e["worker"] for e in events] == ["w1", "override"]
+
+    def test_load_progress_skips_non_object_lines(self, tmp_path):
+        """Corrupt streams must degrade to fewer events, never a crash:
+        truncated tails, bare JSON scalars and arrays are all skipped."""
+        import json as jsonlib
+
+        from repro.core.reporting import load_progress
+
+        path = tmp_path / "w.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    jsonlib.dumps({"event": "claim"}),
+                    "null",
+                    "123",
+                    '["not", "an", "event"]',
+                    '{"torn": tr',
+                    jsonlib.dumps({"event": "cell"}),
+                    "",
+                ]
+            )
+        )
+        events = load_progress(str(path))
+        assert [e["event"] for e in events] == ["claim", "cell"]
+
+    def test_load_progress_dir_survives_corrupt_streams(self, tmp_path):
+        """The dir merger used to crash tagging a non-dict event; now the
+        bad lines vanish and the good streams still load."""
+        from repro.core.reporting import load_progress_dir
+
+        (tmp_path / "bad.jsonl").write_text("null\n42\n")
+        (tmp_path / "good.jsonl").write_text('{"event": "cell"}\n')
+        events = load_progress_dir(str(tmp_path))
+        assert [e["worker"] for e in events] == ["good"]

@@ -1,0 +1,83 @@
+"""Shared logging setup: level resolution and idempotent handlers."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import get_logger, resolve_level, setup_logging
+from repro.obs.log import _HANDLER_FLAG
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    root = logging.getLogger("repro")
+    saved = (root.level, list(root.handlers), root.propagate)
+    root.handlers = [
+        h for h in root.handlers if not getattr(h, _HANDLER_FLAG, False)
+    ]
+    yield
+    root.level, root.handlers, root.propagate = saved[0], saved[1], saved[2]
+
+
+class TestResolveLevel:
+    def test_default_is_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert resolve_level() == logging.WARNING
+
+    def test_verbosity_counts(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert resolve_level(verbosity=1) == logging.INFO
+        assert resolve_level(verbosity=2) == logging.DEBUG
+        assert resolve_level(verbosity=5) == logging.DEBUG
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        assert resolve_level() == logging.DEBUG
+        monkeypatch.setenv("REPRO_LOG", "15")
+        assert resolve_level() == 15
+
+    def test_explicit_level_beats_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "DEBUG")
+        assert resolve_level("ERROR", verbosity=2) == logging.ERROR
+        assert resolve_level(logging.INFO) == logging.INFO
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_level("chatty")
+
+
+class TestSetupLogging:
+    def test_attaches_exactly_one_handler(self):
+        root = setup_logging("INFO")
+        again = setup_logging("DEBUG")
+        assert root is again
+        flagged = [
+            h for h in root.handlers if getattr(h, _HANDLER_FLAG, False)
+        ]
+        assert len(flagged) == 1
+        assert root.level == logging.DEBUG
+        assert root.propagate is False
+
+    def test_messages_reach_the_stream(self):
+        stream = io.StringIO()
+        setup_logging("INFO", stream=stream)
+        get_logger("dist.worker").info("claimed shard %s", "g1-0")
+        text = stream.getvalue()
+        assert "repro.dist.worker" in text
+        assert "claimed shard g1-0" in text
+
+    def test_below_level_is_suppressed(self):
+        stream = io.StringIO()
+        setup_logging("WARNING", stream=stream)
+        get_logger("serve").info("quiet")
+        assert stream.getvalue() == ""
+
+
+class TestGetLogger:
+    def test_prefixes_repro_namespace(self):
+        assert get_logger("merge").name == "repro.merge"
+        assert get_logger("repro.x").name == "repro.x"
+        assert get_logger("repro").name == "repro"

@@ -1,0 +1,183 @@
+"""The instrumentation core: buckets, histograms, registries, merging."""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import NOOP, Histogram, Telemetry
+from repro.obs.telemetry import _ZERO_BUCKET, bucket_bound, bucket_index
+
+
+class TestBuckets:
+    def test_exact_powers_of_two_land_on_their_own_bound(self):
+        # bucket e holds (2**(e-1), 2**e]: the bound is inclusive
+        assert bucket_index(1.0) == 0
+        assert bucket_index(2.0) == 1
+        assert bucket_index(4.0) == 2
+        assert bucket_index(0.5) == -1
+
+    def test_values_between_powers_round_up(self):
+        assert bucket_index(1.5) == 1
+        assert bucket_index(3.0) == 2
+        assert bucket_index(0.3) == -1
+
+    def test_zero_and_negative_get_the_zero_bucket(self):
+        assert bucket_index(0.0) == _ZERO_BUCKET
+        assert bucket_index(-5.0) == _ZERO_BUCKET
+        assert bucket_bound(_ZERO_BUCKET) == 0.0
+
+    def test_bound_is_smallest_covering_power(self):
+        for value in (0.001, 0.7, 1.0, 1.0001, 3.14, 1e6, 1e-9):
+            index = bucket_index(value)
+            assert value <= bucket_bound(index)
+            assert value > bucket_bound(index - 1)
+
+
+class TestHistogram:
+    def test_count_sum_min_max_mean(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 6.0
+        assert hist.min == 1.0
+        assert hist.max == 3.0
+        assert hist.mean == 2.0
+
+    def test_quantile_clamped_by_observed_max(self):
+        hist = Histogram()
+        for value in (1.0, 1.0, 1.0, 100.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(1.0) == 100.0  # bound 128 clamped to max
+
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.mean == 0.0
+        assert hist.quantile(0.5) == 0.0
+        obj = hist.to_obj()
+        assert obj["count"] == 0
+        assert obj["min"] is None and obj["max"] is None
+
+    def test_roundtrip_and_merge_through_json(self):
+        a, b = Histogram(), Histogram()
+        for value in (0.5, 2.0, 7.0):
+            a.observe(value)
+        for value in (0.1, 64.0):
+            b.observe(value)
+        # snapshots cross process boundaries as JSON
+        obj = json.loads(json.dumps(a.to_obj()))
+        b.merge_obj(obj)
+        assert b.count == 5
+        assert b.total == pytest.approx(73.6)
+        assert b.min == 0.1
+        assert b.max == 64.0
+        # bucket counts add: merged holds every original observation
+        assert sum(b.buckets.values()) == 5
+
+    def test_from_obj(self):
+        hist = Histogram()
+        hist.observe(3.0)
+        clone = Histogram.from_obj(hist.to_obj())
+        assert clone.to_obj() == hist.to_obj()
+
+
+class TestTelemetry:
+    def test_counters_gauges_histograms(self):
+        tele = Telemetry(component="t")
+        tele.inc("a")
+        tele.inc("a", 2.5)
+        tele.gauge("g", 5.0)
+        tele.gauge("g", 3.0)
+        tele.gauge_max("m", 1.0)
+        tele.gauge_max("m", 0.5)
+        tele.observe("h", 2.0)
+        assert tele.counter_value("a") == 3.5
+        assert tele.gauge_value("g") == 3.0  # last write wins
+        assert tele.gauge_value("m") == 1.0  # max wins
+        assert tele.histogram("h").count == 1
+        assert set(tele.names()) == {"a", "g", "m", "h"}
+
+    def test_span_records_seconds_histogram(self):
+        tele = Telemetry(component="t")
+        with tele.span("op") as span:
+            pass
+        assert span.seconds >= 0.0
+        hist = tele.histogram("op.seconds")
+        assert hist is not None and hist.count == 1
+
+    def test_snapshot_is_json_serialisable_and_detached(self):
+        tele = Telemetry(component="t")
+        tele.inc("c")
+        tele.observe("h", 1.0)
+        snap = json.loads(json.dumps(tele.snapshot()))
+        assert snap["component"] == "t"
+        assert snap["counters"] == {"c": 1.0}
+        tele.inc("c")  # must not mutate the earlier snapshot
+        assert snap["counters"] == {"c": 1.0}
+
+    def test_merge_snapshot_adds_counters_and_histograms(self):
+        worker = Telemetry(component="cell")
+        worker.inc("engine.events.submit", 10)
+        worker.gauge_max("peak", 7.0)
+        worker.observe("lat", 0.5)
+        home = Telemetry(component="campaign")
+        home.inc("engine.events.submit", 5)
+        home.gauge_max("peak", 3.0)
+        home.observe("lat", 2.0)
+        home.merge_snapshot(json.loads(json.dumps(worker.snapshot())))
+        assert home.counter_value("engine.events.submit") == 15
+        assert home.gauge_value("peak") == 7.0
+        assert home.histogram("lat").count == 2
+        assert home.histogram("lat").max == 2.0
+
+    def test_merge_empty_snapshot_is_noop(self):
+        tele = Telemetry(component="t")
+        tele.merge_snapshot({})
+        assert list(tele.names()) == []
+
+    def test_thread_safety_of_inc(self):
+        tele = Telemetry(component="t")
+
+        def hammer():
+            for _ in range(1000):
+                tele.inc("n")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tele.counter_value("n") == 4000
+
+
+class TestNoop:
+    def test_noop_records_nothing(self):
+        NOOP.inc("a")
+        NOOP.gauge("g", 1.0)
+        NOOP.gauge_max("m", 1.0)
+        NOOP.observe("h", 1.0)
+        NOOP.event("e", x=1)
+        with NOOP.span("op"):
+            pass
+        assert list(NOOP.names()) == []
+        snap = NOOP.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+
+    def test_disabled_registry_ignores_merges(self):
+        live = Telemetry(component="t")
+        live.inc("c")
+        NOOP.merge_snapshot(live.snapshot())
+        assert NOOP.counter_value("c") == 0.0
+
+    def test_noop_span_is_shared_and_inert(self):
+        span_a = NOOP.span("a")
+        span_b = NOOP.span("b", field=1)
+        assert span_a is span_b
+        with span_a:
+            pass
+        assert span_a.seconds == 0.0

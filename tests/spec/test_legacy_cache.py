@@ -145,7 +145,7 @@ class TestResultCacheLegacyRows:
             ],
         )
 
-        def boom(_spec):
+        def boom(_spec, with_telemetry=False):
             raise AssertionError("a warm legacy cache must not simulate")
 
         monkeypatch.setattr(campaign_mod, "_run_one", boom)

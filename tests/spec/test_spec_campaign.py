@@ -70,7 +70,7 @@ class TestSpecCampaignEquivalence:
 
         _, cache = legacy_result
 
-        def boom(_spec):
+        def boom(_spec, with_telemetry=False):
             raise AssertionError("warm spec campaign must not simulate")
 
         monkeypatch.setattr(campaign_mod, "_run_one", boom)
@@ -126,7 +126,12 @@ class TestSpecCampaignEquivalence:
         assert result.to_campaign_result() is None  # tuned eta: no triple key
         board = result.leaderboard()
         assert len(board) == 2
-        assert all(score >= 1.0 for _label, score in board)
+        assert all(row.mean_score >= 1.0 for row in board)
+        # both cells were simulated this run, so timing columns are live
+        assert all(row.n_cells == 1 for row in board)
+        assert all(
+            row.mean_seconds is None or row.mean_seconds > 0 for row in board
+        )
 
     def test_heterogeneous_n_jobs_in_one_campaign(self, tmp_path):
         """Per-cell workload sizes -- impossible under the old positional

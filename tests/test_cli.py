@@ -147,7 +147,89 @@ class TestSpecCommands:
         out = capsys.readouterr().out
         # not the full paper matrix -> leaderboard fallback
         assert "Scenario leaderboard" in out
+        assert "mean s/cell" in out  # timing column from this run's durations
         assert cache.exists()
+
+
+class TestVersionAndMetrics:
+    def test_version_reports_all_version_fences(self, capsys):
+        from repro import __version__
+        from repro.core.campaign import CACHE_VERSION
+        from repro.sim.engine import ENGINE_VERSION
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert f"repro {__version__}" in out
+        assert f"engine v{ENGINE_VERSION}" in out
+        assert f"cache v{CACHE_VERSION}" in out
+
+    def test_sim_telemetry_then_metrics_render(self, tmp_path, capsys):
+        tele_dir = tmp_path / "tele"
+        assert main([
+            "sim", "--log", "KTH-SP2", "--n-jobs", "60",
+            "--telemetry", str(tele_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert (tele_dir / "metrics-sim.json").exists()
+        assert (tele_dir / "metrics-sim.prom").exists()
+        assert main(["metrics", str(tele_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "== sim ==" in out
+        assert "engine.events.submit" in out
+
+    def test_metrics_prom_and_json_formats(self, tmp_path, capsys):
+        tele_dir = tmp_path / "tele"
+        assert main([
+            "sim", "--log", "KTH-SP2", "--n-jobs", "60",
+            "--telemetry", str(tele_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(tele_dir), "--format", "prom"]) == 0
+        assert "repro_engine_events_submit_total" in capsys.readouterr().out
+        assert main(["metrics", str(tele_dir), "--format", "json"]) == 0
+        import json as jsonlib
+
+        snaps = jsonlib.loads(capsys.readouterr().out)
+        assert snaps[0]["component"] == "sim"
+
+    def test_metrics_diff_between_two_runs(self, tmp_path, capsys):
+        before, after = tmp_path / "before", tmp_path / "after"
+        for directory, n_jobs in ((before, "40"), (after, "80")):
+            assert main([
+                "sim", "--log", "KTH-SP2", "--n-jobs", n_jobs,
+                "--telemetry", str(directory),
+            ]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "== sim (delta) ==" in out
+        assert "engine.events.submit" in out and "+40" in out
+
+    def test_metrics_empty_directory_fails(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path)]) == 1
+        assert "no metrics-" in capsys.readouterr().out
+
+    def test_campaign_telemetry_covers_engine_and_campaign(self, tmp_path, capsys):
+        path = tmp_path / "mini.toml"
+        path.write_text(MINI_SPEC)
+        tele_dir = tmp_path / "tele"
+        assert main([
+            "campaign", "--spec", str(path), "--workers", "1",
+            "--telemetry", str(tele_dir),
+        ]) == 0
+        capsys.readouterr()
+        import json as jsonlib
+
+        snap = jsonlib.loads((tele_dir / "metrics-campaign.json").read_text())
+        assert snap["counters"]["campaign.cells.simulated"] == 2
+        assert snap["counters"]["engine.cells"] == 2  # folded in from the cells
+        assert "campaign.cell.seconds" in snap["histograms"]
+        # the dispatch span also landed in the trace stream
+        trace_lines = (tele_dir / "trace-campaign.jsonl").read_text().splitlines()
+        kinds = {jsonlib.loads(line)["kind"] for line in trace_lines}
+        assert "span" in kinds and "cell" in kinds
 
 
 class TestDistCommands:
