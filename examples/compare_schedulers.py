@@ -6,13 +6,18 @@ user-requested times, plus a clairvoyant reference) on each archive log
 and prints AVEbsld and utilization -- the classic "how much does
 backfilling buy, and what do predictions add on top" picture.
 
-Run: ``python examples/compare_schedulers.py``
+Run: ``python examples/compare_schedulers.py``.  Set
+``REPRO_EXAMPLE_JOBS`` to shrink the workloads for smoke runs.
 """
+
+import os
 
 from repro import get_trace, simulate
 from repro.predict import ClairvoyantPredictor, RequestedTimePredictor
 from repro.sched import make_scheduler
 from repro.workload import LOG_NAMES
+
+N_JOBS = int(os.environ.get("REPRO_EXAMPLE_JOBS", "1000"))
 
 SCHEDULERS = ("fcfs", "easy", "easy-sjbf", "conservative")
 
@@ -23,7 +28,7 @@ def main() -> None:
         f"{'AVEbsld':>9s} {'util':>6s} {'max queue':>10s}"
     )
     for log in LOG_NAMES:
-        trace = get_trace(log, n_jobs=1000)
+        trace = get_trace(log, n_jobs=N_JOBS)
         for scheduler_name in SCHEDULERS:
             from repro.sim import Simulator
 

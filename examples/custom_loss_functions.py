@@ -9,16 +9,25 @@ scheduling context (Incremental + EASY-SJBF) and reports both prediction
 metrics and the resulting AVEbsld -- demonstrating the paper's finding
 that prediction accuracy (MAE) and scheduling usefulness diverge.
 
-Run: ``python examples/custom_loss_functions.py``
+Each configuration is spelled the registry way (``"ml:<loss key>"``) and
+run on the shared trace with :func:`repro.run_components_on_trace` -- the
+same component stack a ``[[grid]]`` spec file expands to.
+
+Run: ``python examples/custom_loss_functions.py``.  Set
+``REPRO_EXAMPLE_JOBS`` to shrink the workload for smoke runs.
 """
 
-from repro import E_LOSS, HeuristicTriple, get_trace, run_triple_on_trace
+import os
+
+from repro import E_LOSS, get_trace, run_components_on_trace
 from repro.metrics import mean_absolute_error, mean_loss
 from repro.predict import all_loss_specs
 
+N_JOBS = int(os.environ.get("REPRO_EXAMPLE_JOBS", "1200"))
+
 
 def main() -> None:
-    trace = get_trace("Curie", n_jobs=1200)
+    trace = get_trace("Curie", n_jobs=N_JOBS)
     print(f"workload: {trace.stats().describe()}\n")
 
     print(
@@ -27,8 +36,9 @@ def main() -> None:
     )
     rows = []
     for spec in all_loss_specs():
-        triple = HeuristicTriple(f"ml:{spec.key}", "incremental", "easy-sjbf")
-        result = run_triple_on_trace(trace, triple)
+        result = run_components_on_trace(
+            trace, f"ml:{spec.key}", "incremental", "easy-sjbf"
+        )
         rows.append(
             (
                 spec.key,

@@ -4,20 +4,27 @@
 1. synthesise a Curie-class trace and write it as an SWF file (the
    format of the Parallel Workloads Archive);
 2. parse it back, apply the standard cleaning filters;
-3. simulate the paper's winning triple on the cleaned trace.
+3. simulate the paper's winning component triple on the cleaned trace
+   via :func:`repro.run_components_on_trace` (registry spellings, the
+   same stack spec files expand to).
 
 This is the exact workflow for running the library on *real* archive
 logs: drop a ``.swf`` file in place of the synthetic one (or set
 ``REPRO_SWF_DIR``) and everything downstream is unchanged.
 
-Run: ``python examples/swf_workflow.py``
+Run: ``python examples/swf_workflow.py``.  Set ``REPRO_EXAMPLE_JOBS``
+to shrink the workload for smoke runs.
 """
 
 import os
 import tempfile
 
-from repro import ELOSS_TRIPLE, get_trace, load_swf, run_triple_on_trace, save_swf
+from repro import get_trace, load_swf, run_components_on_trace, save_swf
 from repro.workload import standard_clean
+
+N_JOBS = int(os.environ.get("REPRO_EXAMPLE_JOBS", "800"))
+
+WINNER = ("ml:sq-lin-large-area", "incremental", "easy-sjbf")
 
 
 def main() -> None:
@@ -25,7 +32,7 @@ def main() -> None:
     path = os.path.join(workdir, "Curie.swf")
 
     # 1. synthesise and export
-    trace = get_trace("Curie", n_jobs=800)
+    trace = get_trace("Curie", n_jobs=N_JOBS)
     save_swf(trace, path)
     print(f"wrote {path} ({os.path.getsize(path)} bytes)")
 
@@ -40,8 +47,9 @@ def main() -> None:
     print(f"workload: {cleaned.stats().describe()}\n")
 
     # 3. simulate the winning triple
-    result = run_triple_on_trace(cleaned, ELOSS_TRIPLE)
-    print(f"triple      : {ELOSS_TRIPLE.describe()}")
+    predictor, corrector, scheduler = WINNER
+    result = run_components_on_trace(cleaned, predictor, corrector, scheduler)
+    print(f"components  : {predictor} + {corrector} + {scheduler}")
     print(f"AVEbsld     : {result.avebsld():.1f}")
     print(f"utilization : {result.utilization():.2f}")
     print(f"corrections : {result.total_corrections()}")

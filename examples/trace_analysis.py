@@ -3,18 +3,28 @@
 
 1. synthesise a SDSC-BLUE-class trace and print its population statistics
    (runtime/width distributions, estimate accuracy, arrival pattern);
-2. run EASY and the paper's winning triple on it;
+2. run EASY and the paper's winning triple on it, each spelled as
+   registry components and run via :func:`repro.run_components_on_trace`;
 3. render machine utilization over time for both schedules and show where
    the learned predictions reclaim backfilling holes.
 
-Run: ``python examples/trace_analysis.py``
+Run: ``python examples/trace_analysis.py``.  Set ``REPRO_EXAMPLE_JOBS``
+to shrink the workload for smoke runs.
 """
+
+import os
 
 import numpy as np
 
-from repro import EASY_TRIPLE, ELOSS_TRIPLE, get_trace, run_triple_on_trace
-from repro.metrics import ecdf
+from repro import get_trace, run_components_on_trace
 from repro.sim import ascii_timeline, queue_timeline
+
+N_JOBS = int(os.environ.get("REPRO_EXAMPLE_JOBS", "1500"))
+
+SCENARIOS = [
+    ("EASY (requested times)", "requested", None, "easy"),
+    ("E-Loss + incremental + SJBF (paper)", "ml:sq-lin-large-area", "incremental", "easy-sjbf"),
+]
 
 
 def percentile_row(label, values, unit=""):
@@ -26,7 +36,7 @@ def percentile_row(label, values, unit=""):
 
 
 def main() -> None:
-    trace = get_trace("SDSC-BLUE", n_jobs=1500)
+    trace = get_trace("SDSC-BLUE", n_jobs=N_JOBS)
     stats = trace.stats()
     print(f"workload: {stats.describe()}\n")
 
@@ -50,10 +60,10 @@ def main() -> None:
         f"{share:.0%} of jobs\n"
     )
 
-    for triple in (EASY_TRIPLE, ELOSS_TRIPLE):
-        result = run_triple_on_trace(trace, triple)
+    for label, predictor, corrector, scheduler in SCENARIOS:
+        result = run_components_on_trace(trace, predictor, corrector, scheduler)
         _times, depth = queue_timeline(result)
-        print(f"=== {triple.describe()} ===")
+        print(f"=== {label} ===")
         print(f"AVEbsld {result.avebsld():.1f}, max queue depth {depth.max()}")
         print(ascii_timeline(result, width=70, height=8))
         print()

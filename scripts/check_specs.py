@@ -6,7 +6,9 @@
    CLI path, including the TOML fallback parser on Python 3.10);
 3. asserts that ``experiments/paper.toml`` expands to **exactly** the
    128 legacy triple keys of :func:`repro.core.triples.campaign_triples`
-   (in order), followed by the 2 clairvoyant reference keys.
+   (in order), followed by the 2 clairvoyant reference keys;
+4. asserts that ``experiments/sweeps.toml`` exercises the list-sweep
+   syntax: 3 tau values x (1 + 2-eta-sweep) predictors = 9 cells.
 
 Exits non-zero on any failure.  Usage::
 
@@ -93,6 +95,21 @@ def main() -> int:
                     f"[check-specs] paper.toml == the {len(want)} campaign "
                     f"triples + {len(refs)} references, exactly"
                 )
+        if os.path.basename(path) == "sweeps.toml":
+            proc_cells = run_cli("spec", "expand", path, "--format", "json")
+            cells = [
+                line for line in proc_cells.stdout.splitlines()
+                if line.startswith("{")
+            ]
+            # 3 tau values x (requested + 2 swept ml etas) x 1 log x 1 seed
+            if len(cells) != 9:
+                print(
+                    f"FAIL: sweeps.toml expanded to {len(cells)} cell(s), "
+                    f"expected 9 (tau x eta sweep)", file=sys.stderr,
+                )
+                failures += 1
+            else:
+                print("[check-specs] sweeps.toml == 9 swept cells, exactly")
 
     if failures:
         print(f"[check-specs] {failures} failure(s)", file=sys.stderr)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Examples smoke test (CI).
+
+Runs every ``examples/*.py`` as a subprocess with ``REPRO_EXAMPLE_JOBS``
+shrunk so the whole sweep finishes in CI time, and asserts that each
+
+1. exits 0 with no traceback on stderr;
+2. prints a non-trivial amount of output (examples are documentation --
+   an example that silently prints nothing is broken documentation);
+3. mentions ``AVEbsld`` where it claims to report scheduling quality
+   (every example except the pure-prediction demo).
+
+The examples double as the public-API regression net: they import only
+``repro``'s public surface, so a rename or a dropped export fails here
+even when the unit suite (which imports submodules directly) stays
+green.
+
+Usage::
+
+    python scripts/examples_smoke.py [--jobs 150] [--only quickstart]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+import time
+
+_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+_SRC = os.path.join(_ROOT, "src")
+
+# examples whose output legitimately never mentions AVEbsld
+_NO_SCORE_OK = {"online_prediction_demo.py"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=150,
+                        help="REPRO_EXAMPLE_JOBS override (default 150)")
+    parser.add_argument("--only", default=None,
+                        help="substring filter on example filenames")
+    args = parser.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(_ROOT, "examples", "*.py")))
+    if args.only:
+        paths = [p for p in paths if args.only in os.path.basename(p)]
+    if not paths:
+        print("FAIL: no examples matched", file=sys.stderr)
+        return 1
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_EXAMPLE_JOBS"] = str(args.jobs)
+
+    failures = 0
+    print(f"[examples-smoke] {len(paths)} example(s), "
+          f"REPRO_EXAMPLE_JOBS={args.jobs}")
+    for path in paths:
+        name = os.path.basename(path)
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, path],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        dt = time.perf_counter() - t0
+        problems = []
+        if proc.returncode != 0:
+            problems.append(f"exit {proc.returncode}")
+        if "Traceback" in proc.stderr:
+            problems.append("traceback on stderr")
+        if len(proc.stdout.strip()) < 80:
+            problems.append(f"only {len(proc.stdout.strip())} bytes of output")
+        if name not in _NO_SCORE_OK and "AVEbsld" not in proc.stdout:
+            problems.append("no AVEbsld in output")
+        if problems:
+            failures += 1
+            print(f"[examples-smoke] FAIL {name} ({dt:.1f}s): "
+                  f"{'; '.join(problems)}", file=sys.stderr)
+            tail = "\n".join((proc.stderr or proc.stdout).splitlines()[-15:])
+            print(tail, file=sys.stderr)
+        else:
+            print(f"[examples-smoke] ok   {name} ({dt:.1f}s, "
+                  f"{len(proc.stdout)} bytes)")
+
+    if failures:
+        print(f"[examples-smoke] {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("[examples-smoke] all examples OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,8 @@ from .core import (
     run_campaign,
     run_cells,
     run_spec,
+    run_spec_result,
+    run_components_on_trace,
     run_triple,
     run_triple_on_trace,
     selection_consensus,
@@ -131,6 +133,8 @@ __all__ = [
     "run_campaign",
     "run_cells",
     "run_spec",
+    "run_spec_result",
+    "run_components_on_trace",
     "run_triple",
     "run_triple_on_trace",
     "selection_consensus",

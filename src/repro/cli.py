@@ -11,6 +11,8 @@ Subcommands::
     repro campaign --backend fsqueue --queue /shared/q --cache camp.json
     repro spec validate experiments/*.toml   # check experiment files
     repro spec expand experiments/paper.toml # list the expanded cells
+    repro train --log KTH-SP2 --epochs 4     # train + checkpoint a policy
+    repro eval --policy DIGEST --log KTH-SP2 # rank it vs heuristics
     repro serve --processors 1024    # live JSONL session (README: Serving mode)
     repro worker --queue /shared/q   # drain shards from a queue dir
     repro merge --out merged.jsonl /shared/q/results
@@ -42,7 +44,7 @@ from .core import (
     selection_consensus,
     table8_rows,
 )
-from .core.reporting import format_percent, format_table
+from .core.reporting import format_leaderboard, format_percent, format_table
 from .workload import LOG_NAMES, get_trace, save_swf, stable_seed, table4_rows
 
 __all__ = ["main", "build_parser"]
@@ -216,6 +218,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=None, help="print at most N entries"
     )
 
+    p_train = sub.add_parser(
+        "train",
+        help="train a backfilling policy (REINFORCE) and checkpoint it",
+    )
+    p_train.add_argument("--log", default="KTH-SP2", choices=LOG_NAMES)
+    p_train.add_argument("--n-jobs", type=int, default=500)
+    p_train.add_argument(
+        "--replicas", type=int, default=2,
+        help="training trace seeds: stable_seed(log) + 0..N-1",
+    )
+    p_train.add_argument(
+        "--train-seeds", type=int, nargs="*", default=None,
+        help="pin the training trace seeds explicitly (overrides --replicas)",
+    )
+    p_train.add_argument("--epochs", type=int, default=4)
+    p_train.add_argument(
+        "--episodes", type=int, default=8, help="sampled episodes per epoch"
+    )
+    p_train.add_argument("--lr", type=float, default=0.05)
+    p_train.add_argument("--temperature", type=float, default=1.0)
+    p_train.add_argument(
+        "--seed", type=int, default=0, help="master seed for action noise"
+    )
+    p_train.add_argument("--predictor", default="ave2")
+    p_train.add_argument("--corrector", default="incremental")
+    p_train.add_argument("--min-prediction", type=float, default=60.0)
+    p_train.add_argument("--tau", type=float, default=10.0)
+    p_train.add_argument(
+        "--store", default=None,
+        help="checkpoint directory (default: $REPRO_CHECKPOINT_DIR or ./checkpoints)",
+    )
+    p_train.add_argument(
+        "--workers", type=int, default=None, help="parallel rollout workers"
+    )
+    p_train.add_argument("--json", action="store_true", help="machine-readable summary")
+    p_train.add_argument("--telemetry", default=None, metavar="DIR", help=_TELEMETRY_HELP)
+
+    p_eval = sub.add_parser(
+        "eval",
+        help="rank a trained policy against heuristic baselines (leaderboard)",
+    )
+    p_eval.add_argument("--policy", required=True, help="checkpoint digest to evaluate")
+    p_eval.add_argument(
+        "--store", default=None,
+        help="checkpoint directory (default: $REPRO_CHECKPOINT_DIR or ./checkpoints)",
+    )
+    p_eval.add_argument("--log", default="KTH-SP2", choices=LOG_NAMES)
+    p_eval.add_argument("--n-jobs", type=int, default=500)
+    p_eval.add_argument(
+        "--seeds", type=int, nargs="*", default=None,
+        help="evaluation trace seeds (default: one held-out seed per --replicas)",
+    )
+    p_eval.add_argument(
+        "--replicas", type=int, default=1,
+        help="without --seeds: evaluate on stable_seed(log)+offset..+offset+N-1",
+    )
+    p_eval.add_argument(
+        "--holdout-offset", type=int, default=2,
+        help="without --seeds: first evaluation seed is stable_seed(log)+OFFSET "
+        "(keep it >= the training replicas so evaluation is held out)",
+    )
+    p_eval.add_argument("--predictor", default="ave2")
+    p_eval.add_argument("--corrector", default="incremental")
+    p_eval.add_argument("--min-prediction", type=float, default=60.0)
+    p_eval.add_argument("--tau", type=float, default=10.0)
+    p_eval.add_argument(
+        "--baselines", nargs="*", default=["easy", "easy-sjbf"],
+        help="heuristic schedulers to rank against",
+    )
+    p_eval.add_argument("--cache", default=None, help="JSONL result-cache path")
+    p_eval.add_argument("--workers", type=int, default=None)
+    p_eval.add_argument("--json", action="store_true", help="machine-readable leaderboard")
+    p_eval.add_argument("--telemetry", default=None, metavar="DIR", help=_TELEMETRY_HELP)
+
     p_metrics = sub.add_parser(
         "metrics", help="render telemetry snapshots written by --telemetry DIR"
     )
@@ -383,20 +459,9 @@ def _cmd_spec_campaign(args: argparse.Namespace) -> int:
             return 0
         except KeyError:
             pass  # legacy-shaped but not the paper's matrix
-    rows = [
-        (
-            row.label,
-            f"{row.mean_score:.2f}",
-            str(row.n_cells),
-            "cached" if row.mean_seconds is None else f"{row.mean_seconds:.2f}",
-        )
-        for row in result.leaderboard()
-    ]
     print(
-        format_table(
-            ["Components", "mean AVEbsld", "cells", "mean s/cell"],
-            rows,
-            title=f"Scenario leaderboard ({name})",
+        format_leaderboard(
+            result.leaderboard(), title=f"Scenario leaderboard ({name})"
         )
     )
     return 0
@@ -544,6 +609,151 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_train(args: argparse.Namespace) -> int:
+    """``repro train``: REINFORCE a backfill policy, save the checkpoint."""
+    import json
+
+    from .dist import LocalBroker
+    from .learn import TrainConfig, resolve_store, train
+
+    config = TrainConfig(
+        log=args.log,
+        n_jobs=args.n_jobs,
+        replicas=args.replicas,
+        train_seeds=tuple(args.train_seeds) if args.train_seeds else None,
+        epochs=args.epochs,
+        episodes=args.episodes,
+        lr=args.lr,
+        temperature=args.temperature,
+        seed=args.seed,
+        predictor=args.predictor,
+        corrector=args.corrector,
+        min_prediction=args.min_prediction,
+        tau=args.tau,
+    )
+    telemetry, tele_dir = _telemetry_from_args(args, "train")
+    try:
+        result = train(
+            config, broker=LocalBroker(workers=args.workers), telemetry=telemetry
+        )
+    finally:
+        _finish_telemetry(telemetry, tele_dir)
+    path = result.checkpoint.save(args.store)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "digest": result.digest,
+                    "path": path,
+                    "best_epoch": result.best_epoch,
+                    "train_avebsld": result.train_avebsld,
+                    "init_avebsld": result.init_avebsld,
+                    "history": result.history,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"checkpoint : {result.digest}")
+    print(f"saved to   : {path} (store: {resolve_store(args.store)})")
+    print(f"train seeds: {list(config.resolved_train_seeds())}")
+    print(
+        f"AVEbsld    : {result.train_avebsld:.3f} trained "
+        f"(init {result.init_avebsld:.3f}, best epoch {result.best_epoch})"
+    )
+    if result.history:
+        rows = [
+            (
+                h["epoch"],
+                f"{h['mean_return']:.2f}",
+                f"{h['greedy_avebsld']:.3f}",
+                f"{h['entropy']:.3f}",
+                f"{h['grad_norm']:.3f}",
+            )
+            for h in result.history
+        ]
+        print(
+            format_table(
+                ["epoch", "mean return", "greedy AVEbsld", "entropy", "|grad|"],
+                rows,
+                title="Training history",
+            )
+        )
+    print(
+        f"evaluate with: repro eval --policy {result.digest} --log {args.log}"
+        + (f" --store {args.store}" if args.store else "")
+    )
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    """``repro eval``: leaderboard of a trained policy vs heuristics."""
+    import json
+    import os
+
+    from .learn import DEFAULT_STORE_ENV, evaluate_policy
+    from .workload.archive import stable_seed as _stable
+
+    if args.store:
+        # resolve the store via the environment, not the spec params, so
+        # the learned cells' cache identity stays store-location-free
+        os.environ[DEFAULT_STORE_ENV] = args.store
+    if args.seeds:
+        seeds = [int(s) for s in args.seeds]
+    else:
+        base = _stable(args.log) + args.holdout_offset
+        seeds = [base + r for r in range(args.replicas)]
+    telemetry, tele_dir = _telemetry_from_args(args, "eval")
+    try:
+        result = evaluate_policy(
+            args.policy,
+            args.log,
+            seeds=seeds,
+            n_jobs=args.n_jobs,
+            predictor=args.predictor,
+            corrector=args.corrector,
+            min_prediction=args.min_prediction,
+            tau=args.tau,
+            baselines=args.baselines,
+            cache_path=args.cache,
+            workers=args.workers,
+            telemetry=telemetry,
+        )
+    finally:
+        _finish_telemetry(telemetry, tele_dir)
+    board = result.leaderboard()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "policy": args.policy,
+                    "log": args.log,
+                    "seeds": seeds,
+                    "leaderboard": [
+                        {
+                            "label": row.label,
+                            "mean_avebsld": row.mean_score,
+                            "n_cells": row.n_cells,
+                            "mean_seconds": row.mean_seconds,
+                        }
+                        for row in board
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"policy {args.policy} on {args.log} seeds {seeds}")
+    print(
+        format_leaderboard(
+            board, title=f"Learned vs heuristic ({args.log})"
+        )
+    )
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """``repro metrics DIR [DIR2]``: render or diff telemetry snapshots."""
     import json
@@ -655,6 +865,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_merge(args)
     if args.command == "spec":
         return _cmd_spec(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "eval":
+        return _cmd_eval(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
     if args.command == "table":

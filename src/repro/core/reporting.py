@@ -18,6 +18,7 @@ _log = get_logger("reporting")
 
 __all__ = [
     "format_table",
+    "format_leaderboard",
     "ascii_scatter",
     "format_percent",
     "load_progress",
@@ -26,6 +27,52 @@ __all__ = [
     "aggregate_worker_progress",
     "format_dist_progress",
 ]
+
+#: scheduler family marking a leaderboard row as learned (trained
+#: checkpoint behind the registry) rather than heuristic.
+LEARNED_FAMILIES = ("rl-backfill",)
+
+
+def format_leaderboard(
+    rows: Sequence,
+    title: str = "Scenario leaderboard",
+    baseline: str | None = None,
+) -> str:
+    """Render :meth:`SpecCampaignResult.leaderboard` rows, best first.
+
+    Each row is tagged ``learned`` or ``heuristic`` (learned = the
+    scheduler is a trained-checkpoint family), so ranked comparisons of
+    trained policies against the paper's triples read at a glance.
+    ``baseline`` (a row label) adds a per-row percentage column relative
+    to that row's mean score -- negative means better than the baseline.
+    """
+    base_score = None
+    if baseline is not None:
+        base_score = next(
+            (row.mean_score for row in rows if row.label == baseline), None
+        )
+    table_rows = []
+    for row in rows:
+        kind = (
+            "learned"
+            if any(family in row.label for family in LEARNED_FAMILIES)
+            else "heuristic"
+        )
+        cells = [
+            row.label,
+            kind,
+            f"{row.mean_score:.2f}",
+            str(row.n_cells),
+            "cached" if row.mean_seconds is None else f"{row.mean_seconds:.2f}",
+        ]
+        if base_score:
+            delta = (row.mean_score - base_score) / base_score * 100.0
+            cells.append(f"{delta:+.0f}%")
+        table_rows.append(tuple(cells))
+    headers = ["Components", "kind", "mean AVEbsld", "cells", "mean s/cell"]
+    if base_score:
+        headers.append(f"vs {baseline}")
+    return format_table(headers, table_rows, title=title)
 
 
 def format_percent(value: float) -> str:

@@ -29,8 +29,10 @@ __all__ = [
     "RunOutcome",
     "build_workload",
     "run_spec",
+    "run_spec_result",
     "run_cell",
     "run_cell_report",
+    "run_components_on_trace",
     "run_triple_on_trace",
     "run_triple",
 ]
@@ -134,6 +136,30 @@ def run_spec(spec: CellSpec, telemetry: Telemetry | None = None) -> RunOutcome:
     )
 
 
+def run_spec_result(spec: CellSpec) -> SimulationResult:
+    """Run one cell and return the full per-job :class:`SimulationResult`.
+
+    The analysis-friendly sibling of :func:`run_spec`: same declarative
+    input and the same schedule, but instead of collapsing to a scored
+    :class:`RunOutcome` it hands back the complete result (per-job
+    starts, predictions, corrections) for plotting, metrics and
+    timelines.  Deterministic in the spec.
+    """
+    trace = build_workload(spec.workload)
+    scheduler, predictor, corrector = spec.build_components()
+    session = SimSession(
+        trace.processors,
+        scheduler,
+        predictor,
+        corrector,
+        min_prediction=spec.min_prediction,
+        trace_name=trace.name,
+    )
+    session.feed(trace)
+    session.drain()
+    return session.result()
+
+
 def run_cell(spec: CellSpec) -> float:
     """One campaign cell -> its AVEbsld score.
 
@@ -164,6 +190,43 @@ def run_cell_report(
     if tele is not None:
         report["telemetry"] = tele.snapshot()
     return outcome.avebsld, report
+
+
+def run_components_on_trace(
+    trace: Trace,
+    predictor: "str | dict",
+    corrector: "str | dict | None",
+    scheduler: "str | dict",
+    min_prediction: float = 60.0,
+) -> SimulationResult:
+    """Run a registry-spelled component triple on an existing trace.
+
+    Components are anything the spec registries accept -- a family name
+    (``"ave2"``, ``"easy-sjbf"``, ``"ml:sq-lin-large-area"``) or a
+    parameterized mapping (``{"name": "rl-backfill", "params":
+    {"policy": digest}}``) -- so pre-built traces (filtered, SWF-loaded,
+    hand-crafted) run through the exact component stack that spec files
+    and campaign cells use.  ``corrector=None`` (or ``"none"``) runs
+    uncorrected.
+    """
+    from ..spec import corrector_registry, predictor_registry, scheduler_registry
+
+    built_corrector = (
+        None
+        if corrector in (None, "none")
+        else corrector_registry().build(corrector_registry().normalize(corrector))
+    )
+    session = SimSession(
+        trace.processors,
+        scheduler_registry().build(scheduler_registry().normalize(scheduler)),
+        predictor_registry().build(predictor_registry().normalize(predictor)),
+        built_corrector,
+        min_prediction=min_prediction,
+        trace_name=trace.name,
+    )
+    session.feed(trace)
+    session.drain()
+    return session.result()
 
 
 def run_triple_on_trace(

@@ -65,6 +65,21 @@ class Broker(ABC):
         process tree also fold per-cell engine metrics into it.
         """
 
+    def map_tasks(self, fn: Callable, payloads: Sequence) -> list:
+        """Apply a picklable ``fn`` to each payload, preserving order.
+
+        The generic fan-out companion to :meth:`dispatch` for work that
+        is not a campaign cell -- today the training rollouts of
+        :mod:`repro.learn.rollout`, whose results (gradient vectors) do
+        not fit the cell-score result channel.  ``fn`` must be a
+        module-level function and each payload plain data, so any
+        executor can ship them.  The base implementation runs serially;
+        pool-backed brokers override it.  Brokers whose transport cannot
+        carry arbitrary payloads (the filesystem queue speaks shard
+        manifests only) inherit the serial fallback rather than failing.
+        """
+        return [fn(payload) for payload in payloads]
+
 
 class LocalBroker(Broker):
     """Single-host process-pool fan-out (the classic campaign path)."""
@@ -128,6 +143,19 @@ class LocalBroker(Broker):
                 ]
                 for future in as_completed(futures):
                     deliver(*future.result())
+
+    def map_tasks(self, fn: Callable, payloads: Sequence) -> list:
+        """Order-preserving process-pool map (serial for tiny batches)."""
+        payloads = list(payloads)
+        workers = self.workers
+        if workers is None:
+            cpu = os.cpu_count() or 1
+            workers = max(1, min(cpu - 1, 16))
+        workers = min(workers, len(payloads)) if payloads else 1
+        if workers <= 1 or len(payloads) <= 2:
+            return [fn(payload) for payload in payloads]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, payloads))
 
 
 class FsQueueBroker(Broker):

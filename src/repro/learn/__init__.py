@@ -1,0 +1,69 @@
+"""Trainable backfilling policies.
+
+``repro.learn`` layers a small reinforcement-learning stack on the
+existing engine: :mod:`~repro.learn.env` wraps :class:`repro.sim.session.SimSession`
+as an episodic environment, :mod:`~repro.learn.policy` provides a
+numpy-only linear softmax policy (registered as the ``rl-backfill``
+scheduler family), :mod:`~repro.learn.checkpoint` gives policies
+canonical content digests, :mod:`~repro.learn.train` is a seeded
+REINFORCE trainer, and :mod:`~repro.learn.rollout` fans episodes out
+through the campaign :class:`~repro.dist.broker.Broker` layer.
+
+A trained policy is just a component parameterization --
+``{"name": "rl-backfill", "params": {"policy": "<digest>"}}`` -- so it
+flows through CellSpec digests, cache tokens, grid files and dist
+shards like any heuristic, with its own version fence
+(:data:`~repro.learn.checkpoint.CHECKPOINT_VERSION`) instead of an
+``ENGINE_VERSION`` bump.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    DEFAULT_STORE_ENV,
+    CheckpointError,
+    PolicyCheckpoint,
+    resolve_store,
+)
+from .env import BackfillEnv, EnvConfig, Episode
+from .policy import (
+    FEATURE_NAMES,
+    LinearSoftmaxPolicy,
+    RLBackfillScheduler,
+)
+from .rollout import collect_episodes, rollout_task
+from .train import TrainConfig, TrainResult, evaluate_policy, train
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "DEFAULT_STORE_ENV",
+    "CheckpointError",
+    "PolicyCheckpoint",
+    "resolve_store",
+    "BackfillEnv",
+    "EnvConfig",
+    "Episode",
+    "FEATURE_NAMES",
+    "LinearSoftmaxPolicy",
+    "RLBackfillScheduler",
+    "collect_episodes",
+    "rollout_task",
+    "TrainConfig",
+    "TrainResult",
+    "train",
+    "evaluate_policy",
+    "build_rl_scheduler",
+]
+
+
+def build_rl_scheduler(policy: str, store: str = "") -> RLBackfillScheduler:
+    """Registry factory for ``rl-backfill``: digest -> greedy scheduler.
+
+    ``policy`` is a checkpoint digest resolved against ``store`` (or
+    ``$REPRO_CHECKPOINT_DIR`` / ``./checkpoints`` when empty -- leaving
+    ``store`` at its default keeps the store *location* out of the spec
+    digest, so cache identity follows the checkpoint content alone).
+    """
+    ckpt = PolicyCheckpoint.load_by_digest(policy, store=store or None)
+    return RLBackfillScheduler(LinearSoftmaxPolicy.from_checkpoint(ckpt))

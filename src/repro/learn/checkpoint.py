@@ -1,0 +1,194 @@
+"""Versioned, canonically-digested policy checkpoints.
+
+A trained policy is addressed exactly like everything else in the spec
+layer: by the 16-hex sha256 digest of a canonical JSON core.  The core
+carries only what changes scheduling behavior (version fence, policy
+family, feature list, parameters); training provenance lives in a
+side-car ``meta`` block that is *excluded* from the digest, so re-running
+an identical training job on another day produces a byte-identical
+digest even though wall-clock metadata differs.
+
+The digest is what flows into a :class:`~repro.spec.components.ComponentSpec`
+(``rl-backfill(policy=<digest>)``) and therefore into CellSpec digests,
+cache tokens and dist shard identities -- a retrained policy is a new
+cache key by construction, with no ``ENGINE_VERSION`` bump.
+
+``CHECKPOINT_VERSION`` fences the *semantics* of the core: loading a
+checkpoint written under a different version is a hard, descriptive
+error (never a silent reinterpretation), mirroring the SPEC_VERSION
+discipline in :mod:`repro.spec.cellspec`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..spec.cellspec import canonical_json
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "PolicyCheckpoint",
+    "resolve_store",
+    "DEFAULT_STORE_ENV",
+    "DEFAULT_STORE",
+]
+
+#: Bump whenever the meaning of the checkpoint core changes (feature
+#: semantics, parameter layout, action space).  Digests embed it.
+CHECKPOINT_VERSION = 1
+
+#: Environment variable consulted when a component spec leaves its
+#: ``store`` param at the default ``""`` -- this keeps the store location
+#: out of the spec digest, so the same trained policy hits the same
+#: cache rows from any host that can see *a* copy of the checkpoint.
+DEFAULT_STORE_ENV = "REPRO_CHECKPOINT_DIR"
+DEFAULT_STORE = "checkpoints"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint that cannot be loaded (missing, corrupt, or fenced)."""
+
+
+def resolve_store(store: str | None = None) -> str:
+    """The checkpoint directory a bare digest resolves against.
+
+    Explicit ``store`` wins; otherwise ``$REPRO_CHECKPOINT_DIR``;
+    otherwise ``./checkpoints``.
+    """
+    if store:
+        return store
+    return os.environ.get(DEFAULT_STORE_ENV) or DEFAULT_STORE
+
+
+@dataclass(frozen=True)
+class PolicyCheckpoint:
+    """One saved policy: digested core + undigested provenance.
+
+    ``features`` names the observation columns in order and ``weights``
+    must match them one-for-one; ``stop_bias`` is the constant score of
+    the stop action.  All numerics are plain Python floats so the
+    canonical JSON form is identical across numpy versions.
+    """
+
+    family: str
+    features: tuple[str, ...]
+    weights: tuple[float, ...]
+    stop_bias: float
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.features):
+            raise CheckpointError(
+                f"checkpoint has {len(self.weights)} weight(s) for "
+                f"{len(self.features)} feature(s)"
+            )
+
+    # -- canonical form -------------------------------------------------------
+    def core_obj(self) -> dict:
+        """The digested payload: everything that changes behavior."""
+        return {
+            "checkpoint_version": CHECKPOINT_VERSION,
+            "family": self.family,
+            "features": list(self.features),
+            "weights": [float(w) for w in self.weights],
+            "stop_bias": float(self.stop_bias),
+        }
+
+    def digest(self) -> str:
+        """16-hex content digest of the core (the component param value)."""
+        core = canonical_json(self.core_obj())
+        return hashlib.sha256(core.encode("utf-8")).hexdigest()[:16]
+
+    def to_obj(self) -> dict:
+        return {
+            "checkpoint": self.core_obj(),
+            "digest": self.digest(),
+            "meta": dict(self.meta),
+        }
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, store: str | None = None) -> str:
+        """Write ``<store>/<digest>.json``; returns the path.
+
+        Idempotent: saving the same policy twice rewrites the same file
+        with the same bytes (meta included), so concurrent trainers
+        racing on a shared store cannot corrupt each other.
+        """
+        directory = resolve_store(store)
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{self.digest()}.json")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_obj(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any], source: str = "<obj>") -> "PolicyCheckpoint":
+        core = obj.get("checkpoint")
+        if not isinstance(core, Mapping):
+            raise CheckpointError(f"{source}: no 'checkpoint' object")
+        version = core.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{source}: checkpoint_version {version!r} is not supported "
+                f"by this code (speaks {CHECKPOINT_VERSION}); re-train the "
+                f"policy or use a matching repro version"
+            )
+        try:
+            ckpt = cls(
+                family=str(core["family"]),
+                features=tuple(str(f) for f in core["features"]),
+                weights=tuple(float(w) for w in core["weights"]),
+                stop_bias=float(core["stop_bias"]),
+                meta=dict(obj.get("meta", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"{source}: malformed checkpoint core: {exc}") from exc
+        claimed = obj.get("digest")
+        if claimed is not None and claimed != ckpt.digest():
+            raise CheckpointError(
+                f"{source}: content digest {ckpt.digest()} does not match the "
+                f"recorded digest {claimed!r} -- the file was edited or "
+                f"corrupted; re-save or re-train"
+            )
+        return ckpt
+
+    @classmethod
+    def load(cls, path: str) -> "PolicyCheckpoint":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                obj = json.load(fh)
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"checkpoint {path} is not valid JSON: {exc}") from None
+        if not isinstance(obj, Mapping):
+            raise CheckpointError(f"checkpoint {path} must be a JSON object")
+        return cls.from_obj(obj, source=path)
+
+    @classmethod
+    def load_by_digest(cls, digest: str, store: str | None = None) -> "PolicyCheckpoint":
+        """Resolve a bare digest against the store (see :func:`resolve_store`)."""
+        directory = resolve_store(store)
+        path = os.path.join(directory, f"{digest}.json")
+        if not os.path.exists(path):
+            raise CheckpointError(
+                f"no checkpoint {digest!r} in store {directory!r} (looked for "
+                f"{path}); train one with `repro train` or point "
+                f"${DEFAULT_STORE_ENV} / the component's 'store' param at the "
+                f"right directory"
+            )
+        ckpt = cls.load(path)
+        if ckpt.digest() != digest:
+            raise CheckpointError(
+                f"checkpoint file {path} digests to {ckpt.digest()}, not the "
+                f"{digest!r} its name claims -- store is corrupt"
+            )
+        return ckpt

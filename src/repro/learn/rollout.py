@@ -1,0 +1,104 @@
+"""Parallel episode collection through the campaign dispatch layer.
+
+Rollouts scale exactly like campaigns: the trainer hands a batch of
+``(policy, seed)`` payloads to :meth:`repro.dist.Broker.map_tasks` and
+gets episodes back in order, so serial, process-pool and any future
+pool-backed broker produce *identical* training trajectories (each
+episode's randomness is derived from its own seed, never from worker
+identity or completion order).
+
+The task function is module-level and its payloads are plain dicts --
+the picklability contract of every executor in the stack.  Worker
+processes memoise one :class:`~repro.learn.env.BackfillEnv` per distinct
+environment config, so an epoch's episodes re-parse no traces.
+
+The filesystem-queue broker inherits the serial ``map_tasks`` fallback
+(its transport speaks shard manifests, not arbitrary payloads); truly
+distributed *training* would need an episode manifest format on the
+queue, which is future work -- distributed *evaluation* of a trained
+policy already works today, because a checkpointed policy is an
+ordinary campaign component (see :func:`repro.learn.train.evaluate_policy`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .checkpoint import PolicyCheckpoint
+from .env import BackfillEnv, EnvConfig, Episode
+from .policy import LinearSoftmaxPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..dist.broker import Broker
+
+__all__ = ["rollout_task", "collect_episodes"]
+
+#: per-process env memo: canonical config json -> live BackfillEnv.
+_ENV_MEMO: dict[str, BackfillEnv] = {}
+
+
+def _env_for(config_obj: dict) -> BackfillEnv:
+    from ..spec.cellspec import canonical_json
+
+    key = canonical_json(config_obj)
+    env = _ENV_MEMO.get(key)
+    if env is None:
+        env = BackfillEnv(EnvConfig.from_obj(config_obj))
+        _ENV_MEMO[key] = env
+    return env
+
+
+def rollout_task(payload: dict) -> dict:
+    """One episode, from plain data to plain data (pool-map friendly).
+
+    ``payload``: ``{"env": EnvConfig.to_obj(), "policy":
+    PolicyCheckpoint.to_obj(), "seed": int, "sample": bool,
+    "temperature": float, "rng_seed": int | None}``.
+    """
+    env = _env_for(payload["env"])
+    policy = LinearSoftmaxPolicy.from_checkpoint(
+        PolicyCheckpoint.from_obj(payload["policy"])
+    )
+    episode = env.rollout(
+        policy,
+        seed=int(payload["seed"]),
+        sample=bool(payload["sample"]),
+        temperature=float(payload.get("temperature", 1.0)),
+        rng_seed=payload.get("rng_seed"),
+    )
+    return episode.to_obj()
+
+
+def collect_episodes(
+    broker: "Broker",
+    config: EnvConfig,
+    policy: LinearSoftmaxPolicy,
+    seeds: Sequence[int],
+    sample: bool,
+    temperature: float = 1.0,
+    rng_seeds: Sequence[int] | None = None,
+) -> list[Episode]:
+    """Roll one episode per seed, fanned out through ``broker``.
+
+    ``seeds[i]`` picks episode *i*'s trace; ``rng_seeds[i]`` (optional,
+    aligned) its action noise.  Order-preserving: ``episodes[i]``
+    corresponds to ``seeds[i]``.
+    """
+    if rng_seeds is not None and len(rng_seeds) != len(seeds):
+        raise ValueError(
+            f"rng_seeds ({len(rng_seeds)}) must align with seeds ({len(seeds)})"
+        )
+    ckpt_obj = policy.checkpoint().to_obj()
+    env_obj = config.to_obj()
+    payloads = [
+        {
+            "env": env_obj,
+            "policy": ckpt_obj,
+            "seed": int(seed),
+            "sample": sample,
+            "temperature": temperature,
+            "rng_seed": None if rng_seeds is None else int(rng_seeds[i]),
+        }
+        for i, seed in enumerate(seeds)
+    ]
+    return [Episode.from_obj(obj) for obj in broker.map_tasks(rollout_task, payloads)]

@@ -175,12 +175,30 @@ class EasyScheduler(Scheduler):
         )
 
         # Phase 3: backfill.  A candidate may start iff it fits now and
-        # does not delay the head's reservation.  The sorted view is
-        # reused verbatim when no submit/start/backfill changed the
-        # waiting set since the previous pass.
+        # does not delay the head's reservation.
+        started.extend(self._backfill(now, free, shadow, extra))
+        return started
+
+    def _backfill(
+        self, now: float, free: int, shadow: float, extra: int
+    ) -> list[JobRecord]:
+        """Pick the backfill set given the head's reservation.
+
+        The overridable core of phase 3: everything above (head starts,
+        reservation computation, release-table upkeep) is shared by every
+        EASY-family scheduler; only *which* eligible candidates start is
+        policy.  Implementations must remove the jobs they return from
+        ``self._queue`` and must respect the reservation invariant (a
+        returned job fits ``free`` and either finishes before ``shadow``
+        or consumes only ``extra`` processors).
+
+        The sorted view is reused verbatim when no submit/start/backfill
+        changed the waiting set since the previous pass.
+        """
         if self._order_cache is None:
             self._order_cache = order_queue(self._queue[1:], self.backfill_order)
         candidates = self._order_cache
+        backfilled: list[JobRecord] = []
         backfilled_ids: set[int] = set()
         for record in candidates:
             if record.processors > free:
@@ -190,9 +208,9 @@ class EasyScheduler(Scheduler):
                 free -= record.processors
                 if not finishes_before_shadow:
                     extra -= record.processors
-                started.append(record)
+                backfilled.append(record)
                 backfilled_ids.add(record.job_id)
         if backfilled_ids:
             self._queue = [r for r in self._queue if r.job_id not in backfilled_ids]
             self._order_cache = None
-        return started
+        return backfilled

@@ -396,6 +396,19 @@ def _build_scheduler_registry() -> ComponentRegistry:
         lambda order: MultifactorScheduler(backfill_order=order),
         defaults={"order": "fcfs"},
     )
+    def make_rl_backfill(policy: str, store: str):
+        # lazy: only building a learned cell pays the repro.learn import
+        # (and the checkpoint load); normalizing/digesting specs does not
+        from ..learn import build_rl_scheduler
+
+        return build_rl_scheduler(policy, store)
+
+    registry.register(
+        "rl-backfill",
+        make_rl_backfill,
+        required={"policy": str},
+        defaults={"store": ""},
+    )
     registry.register(
         "legacy-easy",
         lambda order: LegacyEasyScheduler(order),

@@ -23,16 +23,29 @@ expanded as a cross product::
 
 Axis entries are anything :meth:`ComponentSpec.from_obj` accepts, plus
 the ``"ml:*"`` wildcard which expands to the paper's 20 machine-learned
-loss configurations in their canonical order.  Expansion order is
-grid-block, then predictor, corrector, scheduler (matching
-:func:`repro.core.triples.campaign_triples`), then log, then seed; cells
-that expand identically (same digest) are emitted once.
+loss configurations in their canonical order.
+
+Scalar knobs sweep too: ``n_jobs``, ``min_prediction``, ``tau`` and
+``processors`` accept a list anywhere a scalar is accepted, and the list
+becomes a grid axis (``tau = [5, 10, 20]`` runs every cell at three
+thresholds).  Inside an inline component table, a list-valued *param*
+sweeps the same way::
+
+    predictor = [{name = "ml", params = {over = "sq", under = "lin",
+                  weight = "large-area", eta = [0.3, 0.5]}}]
+
+Expansion order is grid-block, then predictor, corrector, scheduler
+(matching :func:`repro.core.triples.campaign_triples`, with component
+param sweeps expanding in declaration order at the entry's position),
+then the knob axes (n_jobs, min_prediction, tau, processors), then log,
+then seed; cells that expand identically (same digest) are emitted once.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from itertools import product
 from typing import Any, Iterable, Mapping
 
 from ._toml import TomlError, load_toml_text
@@ -165,10 +178,10 @@ def _expand_block(
         raise SpecFileError(
             f"{where}: unknown log(s) {unknown_logs}; known: {', '.join(LOG_NAMES)}"
         )
-    n_jobs = block.get("n_jobs", 2000)
-    min_prediction = block.get("min_prediction", 60.0)
-    tau = block.get("tau", 10.0)
-    processors = block.get("processors")
+    n_jobs_axis = _knob_axis(block.get("n_jobs", 2000), where, "n_jobs")
+    mp_axis = _knob_axis(block.get("min_prediction", 60.0), where, "min_prediction")
+    tau_axis = _knob_axis(block.get("tau", 10.0), where, "tau")
+    proc_axis = _knob_axis(block.get("processors"), where, "processors", optional=True)
     filters = tuple(block.get("filters", ()) or ())
     seeds, replicas = _seed_plan(campaign, grid, where)
 
@@ -176,29 +189,55 @@ def _expand_block(
         for predictor in predictors:
             for corrector in correctors:
                 for scheduler in schedulers:
-                    for log in logs:
-                        if seeds is not None:
-                            log_seeds = [int(s) for s in _as_list(seeds, where, "seeds")]
-                        else:
-                            base = stable_seed(str(log))
-                            log_seeds = [base + r for r in range(int(replicas))]
-                        for seed in log_seeds:
-                            yield CellSpec.make(
-                                workload=WorkloadSpec.make(
-                                    log=log,
-                                    n_jobs=n_jobs,
-                                    seed=seed,
-                                    processors=processors,
-                                    filters=filters,
-                                ),
-                                predictor=predictor,
-                                corrector=corrector,
-                                scheduler=scheduler,
-                                min_prediction=min_prediction,
-                                tau=tau,
-                            )
+                    for n_jobs, min_prediction, tau, processors in product(
+                        n_jobs_axis, mp_axis, tau_axis, proc_axis
+                    ):
+                        for log in logs:
+                            if seeds is not None:
+                                log_seeds = [
+                                    int(s) for s in _as_list(seeds, where, "seeds")
+                                ]
+                            else:
+                                base = stable_seed(str(log))
+                                log_seeds = [base + r for r in range(int(replicas))]
+                            for seed in log_seeds:
+                                yield CellSpec.make(
+                                    workload=WorkloadSpec.make(
+                                        log=log,
+                                        n_jobs=n_jobs,
+                                        seed=seed,
+                                        processors=processors,
+                                        filters=filters,
+                                    ),
+                                    predictor=predictor,
+                                    corrector=corrector,
+                                    scheduler=scheduler,
+                                    min_prediction=min_prediction,
+                                    tau=tau,
+                                )
     except (KeyError, ValueError, TypeError) as exc:
         raise SpecFileError(f"{where}: {exc}") from exc
+
+
+def _knob_axis(
+    value: Any, where: str, what: str, optional: bool = False
+) -> list:
+    """A scalar engine/workload knob, or a list of them (a sweep axis)."""
+    if value is None:
+        if optional:
+            return [None]
+        raise SpecFileError(f"{where}: {what} must not be null")
+    if isinstance(value, (list, tuple)):
+        if not value:
+            raise SpecFileError(f"{where}: empty {what} sweep")
+        for entry in value:
+            if isinstance(entry, bool) or not isinstance(entry, (int, float)):
+                raise SpecFileError(
+                    f"{where}: {what} sweep entries must be numbers, "
+                    f"got {entry!r}"
+                )
+        return list(value)
+    return [value]
 
 
 def _component_axis(
@@ -222,7 +261,35 @@ def _component_axis(
 
             out.extend(f"ml:{spec.key}" for spec in all_loss_specs())
         else:
-            out.append(entry)
+            out.extend(_expand_param_sweeps(entry, where, axis))
+    return out
+
+
+def _expand_param_sweeps(entry: Any, where: str, axis: str) -> list:
+    """Expand list-valued params of an inline component table.
+
+    ``{name = "ml", params = {eta = [0.3, 0.5], ...}}`` becomes two
+    entries, cross-producting when several params are lists (declaration
+    order).  Non-mapping entries and scalar-only params pass through.
+    """
+    if not isinstance(entry, Mapping):
+        return [entry]
+    params = entry.get("params")
+    if not isinstance(params, Mapping):
+        return [entry]
+    swept = [key for key, value in params.items() if isinstance(value, (list, tuple))]
+    if not swept:
+        return [entry]
+    for key in swept:
+        if not params[key]:
+            raise SpecFileError(
+                f"{where}: empty sweep for {axis} param {key!r}"
+            )
+    out = []
+    for combo in product(*(params[key] for key in swept)):
+        expanded = dict(params)
+        expanded.update(zip(swept, combo))
+        out.append({**entry, "params": expanded})
     return out
 
 

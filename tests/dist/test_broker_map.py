@@ -1,0 +1,44 @@
+"""Broker.map_tasks: the generic order-preserving fan-out primitive."""
+
+from __future__ import annotations
+
+from repro.dist.broker import Broker, FsQueueBroker, LocalBroker
+
+
+def square(payload: dict) -> int:
+    return payload["x"] * payload["x"]
+
+
+PAYLOADS = [{"x": x} for x in range(7)]
+WANT = [x * x for x in range(7)]
+
+
+class MinimalBroker(Broker):
+    """Bare subclass: exercises the serial map_tasks default."""
+
+    def dispatch(self, cells, on_result, telemetry=None):  # pragma: no cover
+        raise NotImplementedError
+
+
+def test_serial_default_preserves_order():
+    assert MinimalBroker().map_tasks(square, PAYLOADS) == WANT
+
+
+def test_local_pool_matches_serial():
+    serial = LocalBroker(workers=1).map_tasks(square, PAYLOADS)
+    pooled = LocalBroker(workers=2).map_tasks(square, PAYLOADS)
+    assert serial == pooled == WANT
+
+
+def test_small_batches_stay_serial():
+    # two payloads never pay pool startup; result is identical either way
+    assert LocalBroker(workers=4).map_tasks(square, PAYLOADS[:2]) == WANT[:2]
+
+
+def test_empty_payloads():
+    assert LocalBroker(workers=2).map_tasks(square, []) == []
+
+
+def test_fsqueue_broker_inherits_serial_fallback(tmp_path):
+    broker = FsQueueBroker(str(tmp_path))
+    assert broker.map_tasks(square, PAYLOADS) == WANT

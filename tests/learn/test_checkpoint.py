@@ -1,0 +1,131 @@
+"""Checkpoint canonical form, persistence and version fencing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    PolicyCheckpoint,
+    resolve_store,
+)
+from repro.learn.checkpoint import DEFAULT_STORE, DEFAULT_STORE_ENV
+from repro.learn.policy import FEATURE_NAMES, LinearSoftmaxPolicy
+
+
+def sample_checkpoint(meta: dict | None = None) -> PolicyCheckpoint:
+    policy = LinearSoftmaxPolicy.sjbf_init().step(
+        0.01 * np.arange(len(FEATURE_NAMES) + 1)
+    )
+    return policy.checkpoint(meta=meta)
+
+
+class TestDigest:
+    def test_digest_is_16_hex(self):
+        digest = sample_checkpoint().digest()
+        assert len(digest) == 16
+        int(digest, 16)
+
+    def test_meta_is_excluded_from_digest(self):
+        bare = sample_checkpoint()
+        documented = sample_checkpoint(meta={"trained_on": "KTH-SP2", "t": 123})
+        assert bare.digest() == documented.digest()
+
+    def test_weights_change_digest(self):
+        a = LinearSoftmaxPolicy.sjbf_init().checkpoint()
+        b = LinearSoftmaxPolicy.sjbf_init().step(
+            np.ones(len(FEATURE_NAMES) + 1)
+        ).checkpoint()
+        assert a.digest() != b.digest()
+
+    def test_weight_feature_mismatch_rejected(self):
+        with pytest.raises(CheckpointError, match="weight"):
+            PolicyCheckpoint(
+                family="linear-softmax",
+                features=FEATURE_NAMES,
+                weights=(1.0, 2.0),
+                stop_bias=0.0,
+            )
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        ckpt = sample_checkpoint(meta={"note": "round trip"})
+        path = ckpt.save(store=str(tmp_path))
+        loaded = PolicyCheckpoint.load(path)
+        assert loaded == ckpt
+        assert loaded.digest() == ckpt.digest()
+        assert loaded.meta["note"] == "round trip"
+
+    def test_load_by_digest(self, tmp_path):
+        ckpt = sample_checkpoint()
+        ckpt.save(store=str(tmp_path))
+        loaded = PolicyCheckpoint.load_by_digest(ckpt.digest(), store=str(tmp_path))
+        assert loaded == ckpt
+
+    def test_save_is_idempotent(self, tmp_path):
+        ckpt = sample_checkpoint(meta={"k": 1})
+        path1 = ckpt.save(store=str(tmp_path))
+        bytes1 = open(path1, "rb").read()
+        path2 = ckpt.save(store=str(tmp_path))
+        assert path1 == path2
+        assert open(path2, "rb").read() == bytes1
+
+    def test_missing_digest_error_is_actionable(self, tmp_path):
+        with pytest.raises(CheckpointError) as exc:
+            PolicyCheckpoint.load_by_digest("deadbeefdeadbeef", store=str(tmp_path))
+        message = str(exc.value)
+        assert "repro train" in message
+        assert DEFAULT_STORE_ENV in message
+
+
+class TestFencing:
+    def test_version_mismatch_rejected(self, tmp_path):
+        ckpt = sample_checkpoint()
+        path = ckpt.save(store=str(tmp_path))
+        obj = json.load(open(path))
+        obj["checkpoint"]["checkpoint_version"] = CHECKPOINT_VERSION + 1
+        json.dump(obj, open(path, "w"))
+        with pytest.raises(CheckpointError, match="checkpoint_version"):
+            PolicyCheckpoint.load(path)
+
+    def test_edited_content_rejected(self, tmp_path):
+        ckpt = sample_checkpoint()
+        path = ckpt.save(store=str(tmp_path))
+        obj = json.load(open(path))
+        obj["checkpoint"]["weights"][0] += 1.0  # digest now stale
+        json.dump(obj, open(path, "w"))
+        with pytest.raises(CheckpointError, match="digest"):
+            PolicyCheckpoint.load(path)
+
+    def test_misnamed_store_file_rejected(self, tmp_path):
+        ckpt = sample_checkpoint()
+        path = ckpt.save(store=str(tmp_path))
+        wrong = tmp_path / "0123456789abcdef.json"
+        wrong.write_bytes(open(path, "rb").read())
+        with pytest.raises(CheckpointError, match="corrupt"):
+            PolicyCheckpoint.load_by_digest("0123456789abcdef", store=str(tmp_path))
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json {")
+        with pytest.raises(CheckpointError, match="JSON"):
+            PolicyCheckpoint.load(str(path))
+
+
+class TestStoreResolution:
+    def test_explicit_store_wins(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_STORE_ENV, "/env/store")
+        assert resolve_store("/explicit") == "/explicit"
+
+    def test_env_store_second(self, monkeypatch):
+        monkeypatch.setenv(DEFAULT_STORE_ENV, "/env/store")
+        assert resolve_store(None) == "/env/store"
+
+    def test_default_store_last(self, monkeypatch):
+        monkeypatch.delenv(DEFAULT_STORE_ENV, raising=False)
+        assert resolve_store(None) == DEFAULT_STORE

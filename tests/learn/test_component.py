@@ -1,0 +1,133 @@
+"""The rl-backfill registry entry: spec identity, builds and campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.learn import (
+    BackfillEnv,
+    CheckpointError,
+    EnvConfig,
+    LinearSoftmaxPolicy,
+)
+from repro.learn.checkpoint import DEFAULT_STORE_ENV
+from repro.spec import CellSpec, WorkloadSpec, scheduler_registry
+
+LOG = "KTH-SP2"
+N_JOBS = 120
+
+
+@pytest.fixture
+def saved_digest(tmp_path, monkeypatch) -> str:
+    """A checkpoint in a store that $REPRO_CHECKPOINT_DIR points at."""
+    store = tmp_path / "ckpts"
+    ckpt = LinearSoftmaxPolicy.sjbf_init().checkpoint(meta={"note": "test"})
+    ckpt.save(store=str(store))
+    monkeypatch.setenv(DEFAULT_STORE_ENV, str(store))
+    return ckpt.digest()
+
+
+def learned_cell(digest: str, seed: int | None = None) -> CellSpec:
+    return CellSpec.make(
+        workload=WorkloadSpec.make(LOG, n_jobs=N_JOBS, seed=seed),
+        predictor="ave2",
+        corrector="incremental",
+        scheduler={"name": "rl-backfill", "params": {"policy": digest}},
+    )
+
+
+class TestNormalization:
+    def test_normalize_fills_store_default(self, saved_digest):
+        spec = scheduler_registry().normalize(
+            {"name": "rl-backfill", "params": {"policy": saved_digest}}
+        )
+        assert spec.name == "rl-backfill"
+        assert dict(spec.params) == {"policy": saved_digest, "store": ""}
+
+    def test_policy_param_is_required(self):
+        with pytest.raises(Exception, match="policy"):
+            scheduler_registry().normalize({"name": "rl-backfill"})
+
+    def test_no_legacy_triple_spelling(self, saved_digest):
+        cell = learned_cell(saved_digest)
+        assert cell.triple_key is None
+        assert "rl-backfill" in cell.label
+        assert saved_digest in cell.label
+
+
+class TestSpecIdentity:
+    def test_digest_varies_with_policy_digest(self, saved_digest):
+        other = LinearSoftmaxPolicy.sjbf_init().step(
+            [0.1] * (len(LinearSoftmaxPolicy.sjbf_init().theta))
+        ).checkpoint()
+        a = learned_cell(saved_digest)
+        b = learned_cell(other.digest())
+        assert a.digest() != b.digest()
+
+    def test_store_location_stays_out_of_the_digest(self, saved_digest):
+        default_store = learned_cell(saved_digest)
+        explicit_store = CellSpec.make(
+            workload=WorkloadSpec.make(LOG, n_jobs=N_JOBS),
+            predictor="ave2",
+            corrector="incremental",
+            scheduler={
+                "name": "rl-backfill",
+                "params": {"policy": saved_digest, "store": "/somewhere/else"},
+            },
+        )
+        assert default_store.digest() != explicit_store.digest()  # param digested
+        # ...but the canonical *default* spelling ("") is what train/eval
+        # emit, so moving the store only ever changes the env var.
+        assert dict(default_store.scheduler.params)["store"] == ""
+
+    def test_heuristic_digests_untouched(self):
+        """Registering rl-backfill must not move any heuristic digest."""
+        cell = CellSpec.make(
+            workload=WorkloadSpec.make(LOG, n_jobs=N_JOBS, seed=1),
+            predictor="ave2",
+            corrector="incremental",
+            scheduler="easy-sjbf",
+        )
+        obj = cell.scheduler.to_obj()
+        assert "rl" not in str(obj)
+        assert cell.triple_key is not None
+
+
+class TestBuild:
+    def test_build_returns_greedy_scheduler(self, saved_digest):
+        scheduler = scheduler_registry().build(
+            {"name": "rl-backfill", "params": {"policy": saved_digest}}
+        )
+        assert scheduler.name == "rl-backfill"
+        assert scheduler.rng is None  # deployment builds are deterministic
+        assert scheduler.recorder is None
+
+    def test_missing_checkpoint_is_actionable(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DEFAULT_STORE_ENV, str(tmp_path / "empty"))
+        with pytest.raises(CheckpointError, match="repro train"):
+            scheduler_registry().build(
+                {"name": "rl-backfill", "params": {"policy": "deadbeefdeadbeef"}}
+            )
+
+
+class TestCampaignPath:
+    def test_run_cells_scores_a_learned_cell(self, saved_digest, tmp_path):
+        from repro.core.campaign import run_cells
+
+        cell = learned_cell(saved_digest)
+        cache = tmp_path / "cache.jsonl"
+        result = run_cells([cell], cache_path=str(cache), workers=1)
+        score = result.score(cell)
+        assert score > 0
+
+        # the SJBF-equivalent init must score exactly like easy-sjbf
+        env = BackfillEnv(EnvConfig(log=LOG, n_jobs=N_JOBS))
+        reference = env.rollout(
+            LinearSoftmaxPolicy.sjbf_init(), seed=cell.workload.seed
+        )
+        assert score == pytest.approx(reference.avebsld, abs=1e-12)
+
+        # and the cache row keys on the spec digest, so a second run is a hit
+        again = run_cells([cell], cache_path=str(cache), workers=1)
+        assert again.score(cell) == score
+        assert cell.digest() not in again.durations  # served from cache

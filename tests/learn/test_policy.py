@@ -1,0 +1,144 @@
+"""Policy mechanics + the SJBF-equivalence guarantee of the init."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.correct import IncrementalCorrector
+from repro.learn import LinearSoftmaxPolicy, RLBackfillScheduler
+from repro.learn.checkpoint import CheckpointError, PolicyCheckpoint
+from repro.learn.policy import FEATURE_NAMES, POLICY_FAMILY
+from repro.predict import RecentAveragePredictor
+from repro.sim import SimSession
+from repro.workload import get_trace
+
+N_JOBS = 150
+LOG = "KTH-SP2"
+
+
+def run_session(trace, scheduler):
+    session = SimSession(
+        trace.processors,
+        scheduler,
+        RecentAveragePredictor(),
+        IncrementalCorrector(),
+        min_prediction=60.0,
+        trace_name=trace.name,
+    )
+    session.feed(trace)
+    session.drain()
+    return session.result()
+
+
+class TestLinearSoftmax:
+    def test_theta_round_trip(self):
+        policy = LinearSoftmaxPolicy.sjbf_init()
+        delta = 0.1 * np.arange(len(FEATURE_NAMES) + 1)
+        moved = policy.step(delta)
+        np.testing.assert_allclose(moved.theta, policy.theta + delta)
+        # step returns a new policy, never mutates
+        np.testing.assert_allclose(
+            policy.theta, LinearSoftmaxPolicy.sjbf_init().theta
+        )
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            LinearSoftmaxPolicy(np.zeros(3), 0.0)
+
+    def test_distribution_sums_to_one_and_orders_like_scores(self):
+        policy = LinearSoftmaxPolicy.sjbf_init()
+        features = np.random.default_rng(0).uniform(0, 5, (4, len(FEATURE_NAMES)))
+        probs = policy.distribution(features)
+        assert probs.shape == (5,)  # 4 candidates + stop
+        assert probs.sum() == pytest.approx(1.0)
+        scores = policy.action_scores(features)
+        assert np.argmax(probs) == np.argmax(scores)
+
+    def test_greedy_matches_distribution_mode(self):
+        policy = LinearSoftmaxPolicy.sjbf_init()
+        features = np.random.default_rng(1).uniform(0, 5, (6, len(FEATURE_NAMES)))
+        assert policy.act_greedy(features) == int(
+            np.argmax(policy.distribution(features))
+        )
+
+    def test_overflow_safe_distribution(self):
+        policy = LinearSoftmaxPolicy(np.full(len(FEATURE_NAMES), 500.0), 0.0)
+        features = np.full((3, len(FEATURE_NAMES)), 10.0)
+        probs = policy.distribution(features)
+        assert np.isfinite(probs).all()
+
+    def test_checkpoint_fences_family_and_features(self):
+        ckpt = LinearSoftmaxPolicy.sjbf_init().checkpoint()
+        wrong_family = PolicyCheckpoint(
+            family="mlp",
+            features=ckpt.features,
+            weights=ckpt.weights,
+            stop_bias=ckpt.stop_bias,
+        )
+        with pytest.raises(CheckpointError, match=POLICY_FAMILY):
+            LinearSoftmaxPolicy.from_checkpoint(wrong_family)
+        renamed = PolicyCheckpoint(
+            family=POLICY_FAMILY,
+            features=tuple(f + "_v2" for f in ckpt.features),
+            weights=ckpt.weights,
+            stop_bias=ckpt.stop_bias,
+        )
+        with pytest.raises(CheckpointError, match="features"):
+            LinearSoftmaxPolicy.from_checkpoint(renamed)
+
+
+class TestSjbfEquivalence:
+    """The init policy IS EASY-SJBF: byte-identical schedules."""
+
+    def test_greedy_init_schedule_matches_easy_sjbf(self):
+        from repro.sched import make_scheduler
+
+        trace = get_trace(LOG, n_jobs=N_JOBS)
+        reference = run_session(trace, make_scheduler("easy-sjbf"))
+        learned = run_session(
+            trace, RLBackfillScheduler(LinearSoftmaxPolicy.sjbf_init())
+        )
+        ref_starts = {r.job_id: r.start_time for r in reference}
+        rl_starts = {r.job_id: r.start_time for r in learned}
+        assert ref_starts == rl_starts
+        assert learned.avebsld() == pytest.approx(reference.avebsld(), abs=1e-12)
+
+    def test_sampled_rollout_can_diverge(self):
+        trace = get_trace(LOG, n_jobs=N_JOBS)
+        greedy = run_session(
+            trace, RLBackfillScheduler(LinearSoftmaxPolicy.sjbf_init())
+        )
+        # high temperature flattens the softmax into near-uniform picks
+        sampled = run_session(
+            trace,
+            RLBackfillScheduler(
+                LinearSoftmaxPolicy.sjbf_init(),
+                rng=np.random.default_rng(123),
+                temperature=50.0,
+            ),
+        )
+        greedy_starts = {r.job_id: r.start_time for r in greedy}
+        sampled_starts = {r.job_id: r.start_time for r in sampled}
+        assert greedy_starts != sampled_starts
+
+    def test_recorder_never_changes_the_schedule(self):
+        trace = get_trace(LOG, n_jobs=N_JOBS)
+        decisions: list[int] = []
+
+        def recorder(aug, action, probs):
+            decisions.append(action)
+            assert aug.shape[1] == len(FEATURE_NAMES) + 1
+            assert probs.shape[0] == aug.shape[0]
+
+        plain = run_session(
+            trace, RLBackfillScheduler(LinearSoftmaxPolicy.sjbf_init())
+        )
+        recorded = run_session(
+            trace,
+            RLBackfillScheduler(LinearSoftmaxPolicy.sjbf_init(), recorder=recorder),
+        )
+        assert decisions  # the policy did make decisions
+        assert {r.job_id: r.start_time for r in plain} == {
+            r.job_id: r.start_time for r in recorded
+        }

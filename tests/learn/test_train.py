@@ -1,0 +1,102 @@
+"""Trainer determinism and the never-worse-than-init guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.broker import LocalBroker
+from repro.learn import TrainConfig, train
+from repro.obs.telemetry import Telemetry
+
+TINY = TrainConfig(
+    log="KTH-SP2",
+    n_jobs=100,
+    replicas=1,
+    epochs=2,
+    episodes=3,
+    temperature=5.0,
+    seed=3,
+)
+
+
+class TestDeterminism:
+    def test_same_config_same_digest(self):
+        a = train(TINY)
+        b = train(TINY)
+        assert a.digest == b.digest
+        assert a.checkpoint == b.checkpoint
+        assert a.best_epoch == b.best_epoch
+        assert [h["grad_norm"] for h in a.history] == [
+            h["grad_norm"] for h in b.history
+        ]
+
+    def test_worker_count_does_not_change_the_digest(self):
+        serial = train(TINY, broker=LocalBroker(workers=1))
+        pooled = train(TINY, broker=LocalBroker(workers=2))
+        assert serial.digest == pooled.digest
+
+    def test_different_seed_changes_the_trajectory(self):
+        from dataclasses import replace
+
+        a = train(TINY)
+        b = train(replace(TINY, seed=4))
+        # action noise differs, so the per-epoch gradients must differ
+        assert [h["grad_norm"] for h in a.history] != [
+            h["grad_norm"] for h in b.history
+        ]
+
+
+class TestNeverWorseThanInit:
+    def test_shipped_policy_matches_or_beats_init(self):
+        result = train(TINY)
+        assert result.train_avebsld <= result.init_avebsld
+
+    def test_zero_epochs_ships_the_init(self):
+        config = TrainConfig(log="KTH-SP2", n_jobs=100, replicas=1, epochs=0)
+        result = train(config)
+        assert result.best_epoch == -1
+        assert result.train_avebsld == result.init_avebsld
+        assert result.history == []
+        meta = result.checkpoint.meta
+        assert meta["best_epoch"] == -1
+
+
+class TestBookkeeping:
+    def test_history_and_meta(self):
+        result = train(TINY)
+        assert len(result.history) == TINY.epochs
+        for epoch, row in enumerate(result.history):
+            assert row["epoch"] == epoch
+            assert set(row) >= {
+                "mean_return", "best_return", "entropy", "grad_norm",
+                "greedy_avebsld",
+            }
+        meta = result.checkpoint.meta
+        assert meta["trained_on"]["log"] == TINY.log
+        assert meta["trainer"]["algo"] == "reinforce"
+        assert meta["trainer"]["seed"] == TINY.seed
+
+    def test_telemetry_counters(self):
+        tele = Telemetry(component="test-train")
+        train(TINY, telemetry=tele)
+        snapshot = tele.snapshot()
+        counters = snapshot.get("counters", {})
+        assert counters.get("learn.epochs") == TINY.epochs
+        assert counters.get("learn.episodes") == TINY.epochs * TINY.episodes
+        histograms = snapshot.get("histograms", {})
+        assert histograms.get("learn.return", {}).get("count") == (
+            TINY.epochs * TINY.episodes
+        )
+
+    def test_no_train_seeds_is_an_error(self):
+        with pytest.raises(ValueError, match="train seed"):
+            train(TrainConfig(log="KTH-SP2", n_jobs=100, train_seeds=()))
+
+    def test_resolved_train_seeds_follow_stable_seed(self):
+        from repro.workload.archive import stable_seed
+
+        config = TrainConfig(log="CTC-SP2", replicas=3)
+        base = stable_seed("CTC-SP2")
+        assert config.resolved_train_seeds() == (base, base + 1, base + 2)
+        pinned = TrainConfig(log="CTC-SP2", train_seeds=(9, 12))
+        assert pinned.resolved_train_seeds() == (9, 12)

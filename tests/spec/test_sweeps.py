@@ -1,0 +1,137 @@
+"""Spec-level sweep syntax: list-valued knobs and component params."""
+
+import pytest
+
+from repro.spec import SpecFileError, expand_spec_obj
+from repro.spec._toml import load_toml_text
+
+SWEEP_TOML = """
+[campaign]
+name = "sweeps"
+logs = ["KTH-SP2"]
+n_jobs = 120
+replicas = 1
+tau = [5.0, 10.0, 20.0]
+
+[[grid]]
+predictor = [
+  "requested",
+  { name = "ml", params = { over = "sq", under = "lin", weight = "large-area", eta = [0.3, 0.5] } },
+]
+corrector = ["incremental"]
+scheduler = ["easy-sjbf"]
+"""
+
+
+def base_doc(**campaign_overrides):
+    doc = {
+        "campaign": {
+            "name": "t",
+            "logs": ["KTH-SP2"],
+            "n_jobs": 100,
+            "replicas": 1,
+            **campaign_overrides,
+        },
+        "grid": [
+            {
+                "predictor": ["requested"],
+                "corrector": ["none"],
+                "scheduler": ["easy"],
+            }
+        ],
+    }
+    return doc
+
+
+class TestKnobSweeps:
+    def test_scalar_knobs_still_expand_to_one_cell(self):
+        assert len(expand_spec_obj(base_doc())) == 1
+
+    def test_tau_list_is_a_grid_axis(self):
+        cells = expand_spec_obj(base_doc(tau=[5.0, 10.0, 20.0]))
+        assert [c.tau for c in cells] == [5.0, 10.0, 20.0]
+        # tau is part of the spec digest: three distinct cells
+        assert len({c.digest() for c in cells}) == 3
+
+    def test_n_jobs_and_min_prediction_sweep(self):
+        cells = expand_spec_obj(
+            base_doc(n_jobs=[100, 200], min_prediction=[30.0, 60.0])
+        )
+        combos = {(c.workload.n_jobs, c.min_prediction) for c in cells}
+        assert combos == {(100, 30.0), (100, 60.0), (200, 30.0), (200, 60.0)}
+
+    def test_knob_sweep_order_is_documented(self):
+        """n_jobs varies slower than tau (n_jobs axis is outermost)."""
+        cells = expand_spec_obj(base_doc(n_jobs=[100, 200], tau=[5.0, 10.0]))
+        assert [(c.workload.n_jobs, c.tau) for c in cells] == [
+            (100, 5.0), (100, 10.0), (200, 5.0), (200, 10.0),
+        ]
+
+    def test_empty_knob_sweep_rejected(self):
+        with pytest.raises(SpecFileError, match="empty tau sweep"):
+            expand_spec_obj(base_doc(tau=[]))
+
+    def test_non_numeric_knob_entry_rejected(self):
+        with pytest.raises(SpecFileError, match="must be numbers"):
+            expand_spec_obj(base_doc(tau=[5.0, "ten"]))
+
+    def test_grid_level_override_sweeps_too(self):
+        doc = base_doc()
+        doc["grid"][0]["tau"] = [1.0, 2.0]
+        cells = expand_spec_obj(doc)
+        assert [c.tau for c in cells] == [1.0, 2.0]
+
+
+class TestParamSweeps:
+    def test_component_param_list_cross_products(self):
+        doc = base_doc()
+        doc["grid"][0]["predictor"] = [
+            {
+                "name": "ml",
+                "params": {
+                    "over": "sq",
+                    "under": "lin",
+                    "weight": "large-area",
+                    "eta": [0.3, 0.5],
+                },
+            }
+        ]
+        cells = expand_spec_obj(doc)
+        etas = [dict(c.predictor.params).get("eta") for c in cells]
+        assert etas == [0.3, 0.5]
+        assert len({c.digest() for c in cells}) == 2
+
+    def test_two_swept_params_cross_product_in_declaration_order(self):
+        doc = base_doc()
+        doc["grid"][0]["scheduler"] = ["easy"]
+        doc["grid"][0]["predictor"] = [
+            {"name": "ave", "params": {"k": [2, 3]}},
+        ]
+        doc["grid"][0]["corrector"] = ["none"]
+        cells = expand_spec_obj(doc)
+        assert [dict(c.predictor.params)["k"] for c in cells] == [2, 3]
+
+    def test_empty_param_sweep_rejected(self):
+        doc = base_doc()
+        doc["grid"][0]["predictor"] = [{"name": "ave", "params": {"k": []}}]
+        with pytest.raises(SpecFileError, match="empty sweep"):
+            expand_spec_obj(doc)
+
+    def test_scalar_params_pass_through_unchanged(self):
+        doc = base_doc()
+        doc["grid"][0]["predictor"] = [{"name": "ave", "params": {"k": 4}}]
+        cells = expand_spec_obj(doc)
+        assert len(cells) == 1
+        assert dict(cells[0].predictor.params)["k"] == 4
+
+
+class TestSweepTomlEndToEnd:
+    def test_toml_parses_and_expands_to_nine(self):
+        """The checked-in sweeps.toml shape: 3 tau x (1 + 2 etas)."""
+        cells = expand_spec_obj(load_toml_text(SWEEP_TOML))
+        assert len(cells) == 9
+        assert len({c.digest() for c in cells}) == 9
+
+    def test_sweeps_are_deduplicated_by_digest(self):
+        cells = expand_spec_obj(base_doc(tau=[5.0, 5.0]))
+        assert len(cells) == 1
