@@ -9,7 +9,6 @@ motivating cross-validated selection.
 
 from __future__ import annotations
 
-
 from repro.core import HeuristicTriple, campaign_triples, reference_triples
 from repro.core.reporting import ascii_scatter
 from repro.metrics import correlation_summary

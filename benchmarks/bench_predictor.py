@@ -57,7 +57,7 @@ def test_nag_update_throughput(benchmark):
 
     def train():
         opt = NagOptimizer(basis.dim, eta=0.5)
-        for phi, y in zip(phis, targets):
+        for phi, y in zip(phis, targets, strict=True):
             pred = opt.predict(phi)
             opt.update(phi, 2.0 * (pred - y))
         return opt.t

@@ -9,7 +9,6 @@ trace synthesis.
 
 from __future__ import annotations
 
-
 from repro.core.reporting import format_table
 from repro.workload import ARCHIVE, get_trace, synthesize, table4_rows
 from repro.workload.archive import stable_seed
@@ -27,7 +26,7 @@ def test_table4(benchmark):
     lines = [table, "", "Synthetic stand-ins (simulation-sized subsets):"]
     n = min(bench_n_jobs(), 1500)
     detail_rows = []
-    for name, spec in ARCHIVE.items():
+    for name in ARCHIVE:
         trace = get_trace(name, n_jobs=n)
         stats = trace.stats()
         detail_rows.append(

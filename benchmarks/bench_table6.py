@@ -67,7 +67,7 @@ def test_table6(campaign, benchmark):
 
     # Shape 1: Clairvoyant SJBF is the best column on (nearly) every log.
     wins = 0
-    for log, clair_fcfs, clair_sjbf, easy, easypp, rng_f, rng_s in rows:
+    for _log, clair_fcfs, clair_sjbf, easy, easypp, _rng_f, _rng_s in rows:
         if clair_sjbf <= min(clair_fcfs, easy) and clair_sjbf <= easypp * 1.25:
             wins += 1
     assert wins >= 4, f"Clairvoyant SJBF best-in-class on only {wins}/6 logs"

@@ -18,7 +18,6 @@ and uses SJBF ordering with a learning predictor.
 
 from __future__ import annotations
 
-
 from repro.core import average_reductions, leave_one_out, selection_consensus
 from repro.core.reporting import format_percent, format_table
 

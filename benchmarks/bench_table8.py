@@ -13,7 +13,6 @@ E-Loss -- accuracy and usefulness for backfilling are different things.
 
 from __future__ import annotations
 
-
 from repro.core.prediction_analysis import table8_rows
 from repro.core.reporting import format_table
 from repro.predict import E_LOSS, MLPredictor
@@ -55,7 +54,7 @@ def test_table8(curie_prediction_analysis, benchmark):
 
     def train_predictor():
         pred = MLPredictor(E_LOSS)
-        for i, rec in enumerate(result):
+        for rec in result:
             clone = JobRecord(job=rec.job)
             pred.predict(clone, rec.submit_time)
             pred.on_start(clone, rec.submit_time)

@@ -78,7 +78,7 @@ def main() -> int:
             refs = [t.key for t in reference_triples()]
             if keys[: len(want)] != want:
                 mismatch = next(
-                    (i for i, (a, b) in enumerate(zip(keys, want)) if a != b),
+                    (i for i, (a, b) in enumerate(zip(keys, want, strict=False)) if a != b),
                     min(len(keys), len(want)),
                 )
                 print(

@@ -116,7 +116,7 @@ def main(argv: list[str] | None = None) -> int:
     deadline = time.monotonic() + 60.0
     while time.monotonic() < deadline:
         try:
-            with open(victim_progress, "r", encoding="utf-8") as fh:
+            with open(victim_progress, encoding="utf-8") as fh:
                 if '"claim"' in fh.read():
                     break
         except OSError:

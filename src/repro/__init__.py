@@ -54,14 +54,6 @@ from .core import (
     run_triple_on_trace,
     selection_consensus,
 )
-from .spec import (
-    SPEC_VERSION,
-    CellSpec,
-    ComponentSpec,
-    WorkloadSpec,
-    expand_spec_file,
-    validate_spec_file,
-)
 from .correct import (
     Corrector,
     IncrementalCorrector,
@@ -104,6 +96,14 @@ from .sim import (
     SimulationResult,
     Simulator,
     simulate,
+)
+from .spec import (
+    SPEC_VERSION,
+    CellSpec,
+    ComponentSpec,
+    WorkloadSpec,
+    expand_spec_file,
+    validate_spec_file,
 )
 from .workload import (
     ARCHIVE,

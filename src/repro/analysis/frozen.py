@@ -1,0 +1,224 @@
+"""FRZ001's machinery: content digests for the frozen oracle and the
+scheduling-semantics modules, pinned against ``ENGINE_VERSION``.
+
+The contract has two tiers:
+
+* **Oracle tier** -- ``src/repro/sched/legacy.py`` is the byte-frozen
+  reimplementation of the seed scheduler that every optimisation is
+  proven byte-identical against.  Its digest changing is *always* a
+  finding: the oracle may only be re-frozen deliberately, with the
+  regenerated data file showing up in review.
+* **Semantics tier** -- modules whose code decides schedules
+  (``sched/``, ``sim/``, ``correct/``, ``predict/``).  Editing one is
+  fine **iff** either ``ENGINE_VERSION`` was bumped (caches invalidate)
+  or the change is proven byte-identical (oracle tests green) and the
+  digests are regenerated with ``repro check --update-frozen`` -- a
+  checked-in diff a reviewer can hold the author to.
+
+The recorded state lives in ``src/repro/analysis/data/frozen.json``::
+
+    {
+      "engine_version": 2,
+      "oracle": {"src/repro/sched/legacy.py": "<sha256>"},
+      "semantics": {"src/repro/sim/engine.py": "<sha256>", ...}
+    }
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import hashlib
+import json
+import os
+from collections.abc import Iterator
+
+from .core import Finding, ProjectContext
+
+__all__ = [
+    "DATA_RELPATH",
+    "ORACLE_FILES",
+    "SEMANTICS_GLOBS",
+    "compute_frozen",
+    "load_frozen",
+    "write_frozen",
+    "check_frozen",
+]
+
+DATA_RELPATH = "src/repro/analysis/data/frozen.json"
+ENGINE_RELPATH = "src/repro/sim/engine.py"
+
+ORACLE_FILES = ("src/repro/sched/legacy.py",)
+
+SEMANTICS_GLOBS = (
+    "src/repro/sched/*.py",
+    "src/repro/sim/*.py",
+    "src/repro/correct/*.py",
+    "src/repro/predict/*.py",
+)
+
+_RULE = "FRZ001"
+_REGEN = "repro check --update-frozen"
+
+
+def _digest_file(root: str, relpath: str) -> str | None:
+    path = os.path.join(root, *relpath.split("/"))
+    try:
+        with open(path, "rb") as fh:
+            return hashlib.sha256(fh.read()).hexdigest()
+    except OSError:
+        return None
+
+
+def semantics_files(root: str) -> list[str]:
+    """Every on-disk module the semantics tier covers (sorted)."""
+    found: set[str] = set()
+    for pattern in SEMANTICS_GLOBS:
+        directory = os.path.join(root, *pattern.split("/")[:-1])
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            continue
+        prefix = "/".join(pattern.split("/")[:-1])
+        for name in names:
+            relpath = f"{prefix}/{name}"
+            if fnmatch.fnmatch(relpath, pattern):
+                found.add(relpath)
+    return sorted(found - set(ORACLE_FILES))
+
+
+def current_engine_version(root: str) -> tuple[int | None, int]:
+    """``(ENGINE_VERSION, lineno)`` parsed statically from engine.py."""
+    path = os.path.join(root, *ENGINE_RELPATH.split("/"))
+    try:
+        with open(path, encoding="utf-8") as fh:
+            tree = ast.parse(fh.read(), filename=ENGINE_RELPATH)
+    except (OSError, SyntaxError):
+        return None, 1
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "ENGINE_VERSION":
+                    value = node.value
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, int
+                    ):
+                        return value.value, node.lineno
+                    return None, node.lineno
+    return None, 1
+
+
+def compute_frozen(root: str) -> dict:
+    """The digest record for the tree as it is on disk right now."""
+    version, _ = current_engine_version(root)
+    oracle = {
+        relpath: _digest_file(root, relpath)
+        for relpath in ORACLE_FILES
+        if _digest_file(root, relpath) is not None
+    }
+    semantics = {}
+    for relpath in semantics_files(root):
+        digest = _digest_file(root, relpath)
+        if digest is not None:
+            semantics[relpath] = digest
+    return {
+        "engine_version": version,
+        "oracle": oracle,
+        "semantics": semantics,
+    }
+
+
+def load_frozen(root: str) -> dict | None:
+    path = os.path.join(root, *DATA_RELPATH.split("/"))
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def write_frozen(root: str) -> str:
+    """Regenerate the data file (tmp + replace); returns its path."""
+    path = os.path.join(root, *DATA_RELPATH.split("/"))
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(compute_frozen(root), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def check_frozen(ctx: ProjectContext) -> Iterator[Finding]:
+    """The FRZ001 battery over one repository."""
+    root = ctx.root
+    recorded = load_frozen(root)
+    if recorded is None:
+        yield Finding(
+            DATA_RELPATH, 1, 0, _RULE,
+            f"frozen-digest data file missing or unreadable; run `{_REGEN}` "
+            "and commit the result",
+        )
+        return
+
+    current_version, version_line = current_engine_version(root)
+    recorded_version = recorded.get("engine_version")
+
+    # oracle tier: any drift is a finding, version bump or not
+    for relpath in ORACLE_FILES:
+        want = (recorded.get("oracle") or {}).get(relpath)
+        have = _digest_file(root, relpath)
+        if want is None:
+            yield Finding(
+                DATA_RELPATH, 1, 0, _RULE,
+                f"oracle file {relpath} has no recorded digest; run `{_REGEN}`",
+            )
+        elif have is None:
+            yield Finding(
+                relpath, 1, 0, _RULE,
+                "byte-frozen oracle file is missing from the tree",
+            )
+        elif have != want:
+            yield Finding(
+                relpath, 1, 0, _RULE,
+                "byte-frozen oracle modified (content digest changed).  The "
+                "legacy oracle must never drift; revert the edit, or re-freeze "
+                f"deliberately with `{_REGEN}` and justify the diff in review",
+            )
+
+    if current_version != recorded_version:
+        yield Finding(
+            ENGINE_RELPATH, version_line, 0, _RULE,
+            f"ENGINE_VERSION is {current_version} but the frozen digests were "
+            f"recorded at {recorded_version}; run `{_REGEN}` so the semantics "
+            "digests re-pin against the new version",
+        )
+        return  # per-file drift is expected mid-bump; one finding suffices
+
+    recorded_semantics: dict = recorded.get("semantics") or {}
+    on_disk = semantics_files(root)
+    for relpath in on_disk:
+        have = _digest_file(root, relpath)
+        want = recorded_semantics.get(relpath)
+        if want is None:
+            yield Finding(
+                relpath, 1, 0, _RULE,
+                "new scheduling-semantics module with no recorded digest; "
+                f"run `{_REGEN}` to pin it",
+            )
+        elif have != want:
+            yield Finding(
+                relpath, 1, 0, _RULE,
+                "scheduling-semantics module changed without an "
+                "ENGINE_VERSION bump.  Either bump ENGINE_VERSION "
+                "(sim/engine.py) so stale caches die, or -- if the oracle "
+                "suite proves schedules byte-identical -- regenerate the "
+                f"digests with `{_REGEN}` and let review see the re-pin",
+            )
+    for relpath in sorted(set(recorded_semantics) - set(on_disk)):
+        yield Finding(
+            DATA_RELPATH, 1, 0, _RULE,
+            f"recorded semantics module {relpath} no longer exists; "
+            f"run `{_REGEN}`",
+        )

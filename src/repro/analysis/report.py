@@ -1,0 +1,71 @@
+"""Reporters for check results: terminal text and machine JSON.
+
+The JSON schema (``REPORT_VERSION`` 1) is a stable CI artifact::
+
+    {
+      "version": 1,
+      "tool": "repro check",
+      "rules": ["DET001", ...],          # battery that ran
+      "files_checked": 123,
+      "findings": [{"rule", "path", "line", "col", "message"}, ...],
+      "counts": {"DET001": 2, ...},      # only rules with findings
+      "ok": false
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from .core import Finding, Rule
+
+__all__ = ["REPORT_VERSION", "format_text", "to_json_obj", "format_json"]
+
+REPORT_VERSION = 1
+
+
+def format_text(
+    findings: Sequence[Finding], files_checked: int, rules: Iterable[Rule]
+) -> str:
+    """Human-facing report: one line per finding plus a summary line."""
+    lines = [finding.render() for finding in findings]
+    rule_ids = [rule.id for rule in rules]
+    if findings:
+        counts = Counter(finding.rule for finding in findings)
+        by_rule = ", ".join(f"{rule}:{n}" for rule, n in sorted(counts.items()))
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s) in {files_checked} file(s) "
+            f"({by_rule}); suppress a line with `# repro: noqa[RULE]`"
+        )
+    else:
+        lines.append(
+            f"ok: {files_checked} file(s) clean under "
+            f"{len(rule_ids)} rule(s) ({', '.join(rule_ids)})"
+        )
+    return "\n".join(lines)
+
+
+def to_json_obj(
+    findings: Sequence[Finding], files_checked: int, rules: Iterable[Rule]
+) -> dict:
+    counts = Counter(finding.rule for finding in findings)
+    return {
+        "version": REPORT_VERSION,
+        "tool": "repro check",
+        "rules": [rule.id for rule in rules],
+        "files_checked": files_checked,
+        "findings": [finding.to_obj() for finding in findings],
+        "counts": dict(sorted(counts.items())),
+        "ok": not findings,
+    }
+
+
+def format_json(
+    findings: Sequence[Finding], files_checked: int, rules: Iterable[Rule]
+) -> str:
+    return json.dumps(
+        to_json_obj(findings, files_checked, rules), indent=2, sort_keys=True
+    )

@@ -16,6 +16,7 @@ Subcommands::
     repro serve --processors 1024    # live JSONL session (README: Serving mode)
     repro worker --queue /shared/q   # drain shards from a queue dir
     repro merge --out merged.jsonl /shared/q/results
+    repro check [--json] [--rules ...]   # static invariant checker
     repro table --which 1|6|7|8      # print a paper table reproduction
     repro metrics RUN_DIR            # render telemetry snapshots
     repro metrics BEFORE_DIR AFTER_DIR   # counter deltas between two runs
@@ -303,6 +304,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "prom", "json"], default="text",
         help="single-directory rendering: human text, Prometheus "
         "exposition, or raw snapshot JSON",
+    )
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the static invariant checker (determinism/durability/"
+        "cache-identity rules; README: Static analysis & invariants)",
+    )
+    p_check.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    p_check.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: the whole battery)",
+    )
+    p_check.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report on stdout (schema: analysis.report)",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule battery (id, scope, title) and exit",
+    )
+    p_check.add_argument(
+        "--update-frozen", action="store_true",
+        help="regenerate the FRZ001 digest file after a deliberate, "
+        "oracle-proven semantics change (or an ENGINE_VERSION bump)",
     )
 
     p_table = sub.add_parser("table", help="print a paper table reproduction")
@@ -784,6 +812,47 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: the static invariant checker (repro.analysis)."""
+    from .analysis import (
+        CheckConfig,
+        format_json,
+        format_text,
+        resolve_rules,
+        run_check,
+        write_frozen,
+    )
+    from .analysis.core import FileRule, find_root
+
+    if args.list_rules:
+        for rule in resolve_rules(None):
+            kind = "file" if isinstance(rule, FileRule) else "project"
+            scope = ", ".join(rule.paths)
+            print(f"{rule.id}  [{kind}]  {rule.title}  ({scope})")
+        return 0
+    select = None
+    if args.rules:
+        select = tuple(
+            part.strip() for part in args.rules.split(",") if part.strip()
+        )
+    root = find_root(args.paths[0] if args.paths else ".")
+    if args.update_frozen:
+        path = write_frozen(root)
+        print(f"frozen digests regenerated: {path}", file=sys.stderr)
+    try:
+        rules = resolve_rules(select)
+        findings, files = run_check(
+            args.paths, root=root, config=CheckConfig(select=select)
+        )
+    except KeyError as exc:
+        raise SystemExit(f"repro check: {exc.args[0]}") from None
+    if args.json:
+        print(format_json(findings, len(files), rules))
+    else:
+        print(format_text(findings, len(files), rules))
+    return 1 if findings else 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.which == "4":
         return _cmd_logs()
@@ -871,6 +940,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_eval(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "table":
         return _cmd_table(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -28,8 +28,9 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import IO, TYPE_CHECKING, NamedTuple, Sequence
+from typing import IO, TYPE_CHECKING, NamedTuple
 
 import numpy as np
 
@@ -324,7 +325,7 @@ def iter_cache_records(path: str) -> tuple[list[tuple[int, str, float]], int]:
     """
     records: list[tuple[int, str, float]] = []
     torn = 0
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
@@ -524,7 +525,7 @@ class SpecCampaignResult:
         ]
         return sorted(rows, key=lambda row: row.mean_score)
 
-    def to_campaign_result(self) -> "CampaignResult | None":
+    def to_campaign_result(self) -> CampaignResult | None:
         """Reshape into the paper-table :class:`CampaignResult` when the
         cells form a rectangular legacy grid (every cell lowers to a
         triple key, plain workloads, uniform n_jobs/engine knobs, the
@@ -579,7 +580,7 @@ def run_cells(
     workers: int | None = None,
     progress: bool = False,
     progress_path: str | None = None,
-    backend: "Broker | str" = "local",
+    backend: Broker | str = "local",
     queue_dir: str | None = None,
     telemetry: Telemetry | None = None,
 ) -> SpecCampaignResult:
@@ -623,7 +624,7 @@ def run_campaign(
     progress: bool = False,
     progress_path: str | None = None,
     triples: Sequence[HeuristicTriple] | None = None,
-    backend: "Broker | str" = "local",
+    backend: Broker | str = "local",
     queue_dir: str | None = None,
     telemetry: Telemetry | None = None,
 ) -> CampaignResult:
@@ -664,7 +665,7 @@ def _run_campaign_inner(
     cache: ResultCache,
     plog: _ProgressLog,
     triples: list[HeuristicTriple],
-    broker: "Broker",
+    broker: Broker,
     progress: bool,
     telemetry: Telemetry | None = None,
 ) -> CampaignResult:
@@ -698,7 +699,7 @@ def _execute_cells(
     cells: Sequence[CellSpec],
     cache: ResultCache,
     plog: _ProgressLog,
-    broker: "Broker",
+    broker: Broker,
     progress: bool,
     start_extra: dict | None = None,
     telemetry: Telemetry | None = None,

@@ -49,7 +49,7 @@ class PredictionAnalysis:
     def mean_eloss(self, technique: str, processors: np.ndarray) -> float:
         total = 0.0
         preds = self.predictions[technique]
-        for f, p, q in zip(preds, self.runtimes, processors):
+        for f, p, q in zip(preds, self.runtimes, processors, strict=True):
             total += E_LOSS.value(float(f), float(p), float(q))
         return total / len(preds)
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -89,7 +89,7 @@ def load_progress(path: str) -> list[dict]:
     """
     events: list[dict] = []
     skipped = 0
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if not line:

@@ -194,9 +194,9 @@ def run_cell_report(
 
 def run_components_on_trace(
     trace: Trace,
-    predictor: "str | dict",
-    corrector: "str | dict | None",
-    scheduler: "str | dict",
+    predictor: str | dict,
+    corrector: str | dict | None,
+    scheduler: str | dict,
     min_prediction: float = 60.0,
 ) -> SimulationResult:
     """Run a registry-spelled component triple on an existing trace.

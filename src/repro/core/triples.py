@@ -62,7 +62,7 @@ class HeuristicTriple:
         return f"{self.predictor}|{self.corrector or 'none'}|{self.scheduler}"
 
     @classmethod
-    def from_key(cls, key: str) -> "HeuristicTriple":
+    def from_key(cls, key: str) -> HeuristicTriple:
         parts = key.split("|")
         if len(parts) != 3 or not all(parts):
             raise ValueError(

@@ -23,8 +23,8 @@ from __future__ import annotations
 import os
 import time
 from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Callable, Sequence
 
 from ..core.campaign import parse_cache_record
 from ..obs import get_logger
@@ -399,7 +399,7 @@ class _ResultTailer:
 
 
 def resolve_backend(
-    backend: "Broker | str",
+    backend: Broker | str,
     workers: int | None = None,
     queue_dir: str | None = None,
     **fsqueue_kwargs,

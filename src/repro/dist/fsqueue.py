@@ -136,7 +136,7 @@ class FsQueue:
         meta: dict | None = None,
         lease_ttl: float | None = None,
         exist_ok: bool = True,
-    ) -> "FsQueue":
+    ) -> FsQueue:
         """Initialise (or reopen) a queue directory.
 
         ``meta`` is stored in ``queue.json`` together with the creating
@@ -178,7 +178,7 @@ class FsQueue:
         return queue
 
     def read_meta(self) -> dict:
-        with open(self.meta_path, "r", encoding="utf-8") as fh:
+        with open(self.meta_path, encoding="utf-8") as fh:
             return json.load(fh)
 
     def check_versions(self) -> dict:
@@ -231,10 +231,12 @@ class FsQueue:
         worker_id = sanitize_id(worker_id)
         todo = self._dir("todo")
         try:
-            names = os.listdir(todo)
+            # sort at the scan site: os.listdir order is filesystem-
+            # dependent, and claim order must not be
+            names = sorted(os.listdir(todo), key=_todo_sort_key)
         except FileNotFoundError:
             return None
-        for name in sorted(names, key=_todo_sort_key):
+        for name in names:
             shard_id, attempt = _parse_todo_name(name)
             if shard_id is None:
                 continue
@@ -253,7 +255,7 @@ class FsQueue:
                 # instant -- a racing coordinator may snatch it back
                 # before the utime lands.  Treat that as a lost claim.
                 os.utime(dst)
-                with open(dst, "r", encoding="utf-8") as fh:
+                with open(dst, encoding="utf-8") as fh:
                     spec = json.load(fh)
             except FileNotFoundError:
                 continue
@@ -308,10 +310,10 @@ class FsQueue:
         claimed = self._dir("claimed")
         moved: list[tuple[str, int, str]] = []
         try:
-            names = os.listdir(claimed)
+            names = sorted(os.listdir(claimed))
         except FileNotFoundError:
             return moved
-        for name in sorted(names):
+        for name in names:
             parsed = _parse_claimed_name(name)
             if parsed is None:
                 continue
@@ -346,7 +348,7 @@ class FsQueue:
         re-plan from the authoritative cache + results instead."""
         todo = self._dir("todo")
         removed = 0
-        for name in os.listdir(todo):
+        for name in sorted(os.listdir(todo)):
             try:
                 os.unlink(os.path.join(todo, name))
                 removed += 1
@@ -381,7 +383,7 @@ class FsQueue:
 
     def read_signal(self, name: str) -> dict | None:
         try:
-            with open(os.path.join(self.root, name), "r", encoding="utf-8") as fh:
+            with open(os.path.join(self.root, name), encoding="utf-8") as fh:
                 return json.load(fh)
         except FileNotFoundError:
             return None
@@ -429,7 +431,7 @@ class FsQueue:
 
 def _safe_listdir(path: str) -> list[str]:
     try:
-        return os.listdir(path)
+        return sorted(os.listdir(path))
     except FileNotFoundError:
         return []
 

@@ -33,8 +33,8 @@ from __future__ import annotations
 
 import json
 import os
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from ..core.campaign import iter_cache_records
 from ..obs import get_logger

@@ -29,8 +29,8 @@ from __future__ import annotations
 import heapq
 import json
 import os
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from ..spec import SPEC_VERSION, CellSpec
 
@@ -120,7 +120,7 @@ def load_bench_cost_model(path: str | None = None) -> CellCostModel:
     if path is None:
         path = os.path.join(os.getcwd(), "BENCH_engine.json")
     try:
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             report = json.load(fh)
         per_job: dict[str, float] = {}
         for scenario in report.get("scenarios", []):

@@ -24,8 +24,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any
 
 from ..spec.cellspec import canonical_json
 
@@ -130,7 +131,7 @@ class PolicyCheckpoint:
         return path
 
     @classmethod
-    def from_obj(cls, obj: Mapping[str, Any], source: str = "<obj>") -> "PolicyCheckpoint":
+    def from_obj(cls, obj: Mapping[str, Any], source: str = "<obj>") -> PolicyCheckpoint:
         core = obj.get("checkpoint")
         if not isinstance(core, Mapping):
             raise CheckpointError(f"{source}: no 'checkpoint' object")
@@ -161,9 +162,9 @@ class PolicyCheckpoint:
         return ckpt
 
     @classmethod
-    def load(cls, path: str) -> "PolicyCheckpoint":
+    def load(cls, path: str) -> PolicyCheckpoint:
         try:
-            with open(path, "r", encoding="utf-8") as fh:
+            with open(path, encoding="utf-8") as fh:
                 obj = json.load(fh)
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
@@ -174,7 +175,7 @@ class PolicyCheckpoint:
         return cls.from_obj(obj, source=path)
 
     @classmethod
-    def load_by_digest(cls, digest: str, store: str | None = None) -> "PolicyCheckpoint":
+    def load_by_digest(cls, digest: str, store: str | None = None) -> PolicyCheckpoint:
         """Resolve a bare digest against the store (see :func:`resolve_store`)."""
         directory = resolve_store(store)
         path = os.path.join(directory, f"{digest}.json")

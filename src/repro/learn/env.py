@@ -63,7 +63,7 @@ class EnvConfig:
         }
 
     @classmethod
-    def from_obj(cls, obj: dict) -> "EnvConfig":
+    def from_obj(cls, obj: dict) -> EnvConfig:
         return cls(**obj)
 
 
@@ -100,7 +100,7 @@ class Episode:
         }
 
     @classmethod
-    def from_obj(cls, obj: dict) -> "Episode":
+    def from_obj(cls, obj: dict) -> Episode:
         return cls(
             seed=int(obj["seed"]),
             avebsld=float(obj["avebsld"]),

@@ -24,12 +24,12 @@ the paper's best heuristic instead of noise.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
-from ..sim.results import JobRecord
 from ..sched.easy import EasyScheduler
+from ..sim.results import JobRecord
 from .checkpoint import CheckpointError, PolicyCheckpoint
 
 __all__ = [
@@ -111,14 +111,14 @@ class LinearSoftmaxPolicy:
 
     # -- constructors ---------------------------------------------------------
     @classmethod
-    def sjbf_init(cls) -> "LinearSoftmaxPolicy":
+    def sjbf_init(cls) -> LinearSoftmaxPolicy:
         """The EASY-SJBF-equivalent starting point (see module docstring)."""
         weights = np.zeros(len(FEATURE_NAMES))
         weights[FEATURE_NAMES.index("log_predicted")] = -1.0
         return cls(weights, _SJBF_STOP_BIAS)
 
     @classmethod
-    def from_checkpoint(cls, ckpt: PolicyCheckpoint) -> "LinearSoftmaxPolicy":
+    def from_checkpoint(cls, ckpt: PolicyCheckpoint) -> LinearSoftmaxPolicy:
         if ckpt.family != POLICY_FAMILY:
             raise CheckpointError(
                 f"checkpoint family {ckpt.family!r} is not {POLICY_FAMILY!r}"
@@ -145,7 +145,7 @@ class LinearSoftmaxPolicy:
         """Flat parameter vector ``[weights..., stop_bias]`` (a copy)."""
         return np.append(self.weights, self.stop_bias)
 
-    def step(self, delta: np.ndarray) -> "LinearSoftmaxPolicy":
+    def step(self, delta: np.ndarray) -> LinearSoftmaxPolicy:
         """A new policy moved by ``delta`` in parameter space."""
         theta = self.theta + np.asarray(delta, dtype=np.float64)
         return LinearSoftmaxPolicy(theta[:-1], float(theta[-1]))

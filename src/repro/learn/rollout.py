@@ -22,7 +22,8 @@ ordinary campaign component (see :func:`repro.learn.train.evaluate_policy`).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from .checkpoint import PolicyCheckpoint
 from .env import BackfillEnv, EnvConfig, Episode
@@ -70,7 +71,7 @@ def rollout_task(payload: dict) -> dict:
 
 
 def collect_episodes(
-    broker: "Broker",
+    broker: Broker,
     config: EnvConfig,
     policy: LinearSoftmaxPolicy,
     seeds: Sequence[int],

@@ -27,8 +27,8 @@ curves like any other run.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 
@@ -163,7 +163,7 @@ def train(
         baseline = float(returns.mean())
         advantages = returns - baseline
         grad = np.zeros(len(policy.theta))
-        for episode, advantage in zip(episodes, advantages):
+        for episode, advantage in zip(episodes, advantages, strict=True):
             grad += advantage * episode.grad
         grad /= max(len(episodes), 1)
         norm = float(np.linalg.norm(grad))

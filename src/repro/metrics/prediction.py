@@ -43,7 +43,7 @@ def mean_loss(result: SimulationResult, spec: LossSpec) -> float:
     runtimes = result.runtimes
     processors = result.array("processors")
     total = 0.0
-    for f, p, q in zip(predictions, runtimes, processors):
+    for f, p, q in zip(predictions, runtimes, processors, strict=True):
         total += spec.value(float(f), float(p), float(q))
     return total / max(1, len(result))
 

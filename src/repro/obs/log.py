@@ -13,6 +13,7 @@ from __future__ import annotations
 import logging
 import os
 import sys
+from typing import IO
 
 __all__ = ["get_logger", "setup_logging", "resolve_level"]
 
@@ -41,7 +42,7 @@ def setup_logging(
     level: int | str | None = None,
     *,
     verbosity: int = 0,
-    stream=None,
+    stream: IO[str] | None = None,
 ) -> logging.Logger:
     """Configure the ``repro`` root logger; returns it.
 

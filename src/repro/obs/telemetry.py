@@ -26,7 +26,8 @@ from __future__ import annotations
 import math
 import threading
 import time
-from typing import TYPE_CHECKING, Iterator
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from .sinks import JsonlTraceSink
@@ -122,7 +123,7 @@ class Histogram:
             self.buckets[index] = self.buckets.get(index, 0) + int(n)
 
     @classmethod
-    def from_obj(cls, obj: dict) -> "Histogram":
+    def from_obj(cls, obj: dict) -> Histogram:
         hist = cls()
         hist.merge_obj(obj)
         return hist
@@ -134,18 +135,18 @@ class _Span:
 
     __slots__ = ("_telemetry", "name", "fields", "seconds", "_t0")
 
-    def __init__(self, telemetry: "Telemetry", name: str, fields: dict) -> None:
+    def __init__(self, telemetry: Telemetry, name: str, fields: dict) -> None:
         self._telemetry = telemetry
         self.name = name
         self.fields = fields
         self.seconds = 0.0
         self._t0 = 0.0
 
-    def __enter__(self) -> "_Span":
+    def __enter__(self) -> _Span:
         self._t0 = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.seconds = time.perf_counter() - self._t0
         tele = self._telemetry
         tele.observe(f"{self.name}.seconds", self.seconds)
@@ -166,10 +167,10 @@ class _NoopSpan:
     fields: dict = {}
     seconds = 0.0
 
-    def __enter__(self) -> "_NoopSpan":
+    def __enter__(self) -> _NoopSpan:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         return None
 
 
@@ -190,7 +191,7 @@ class Telemetry:
         self,
         component: str = "repro",
         enabled: bool = True,
-        trace: "JsonlTraceSink | None" = None,
+        trace: JsonlTraceSink | None = None,
     ) -> None:
         self.component = component
         self.enabled = enabled
@@ -229,7 +230,7 @@ class Telemetry:
                 hist = self._histograms[name] = Histogram()
             hist.observe(value)
 
-    def span(self, name: str, **fields):
+    def span(self, name: str, **fields: object) -> _Span | _NoopSpan:
         """Time a block: ``with tele.span("campaign.dispatch"): ...``."""
         if not self.enabled:
             return _NOOP_SPAN

@@ -54,6 +54,6 @@ class PolynomialBasis:
         names.extend(f"{f}^2" for f in feature_names)
         names.extend(
             f"{feature_names[i]}*{feature_names[j]}"
-            for i, j in zip(self._iu, self._ju)
+            for i, j in zip(self._iu, self._ju, strict=True)
         )
         return names

@@ -25,8 +25,8 @@ a typo for ``q_j`` and document the substitution (see DESIGN.md).
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
-from typing import Callable, Iterator
 
 __all__ = [
     "BRANCHES",

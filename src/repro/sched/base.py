@@ -10,7 +10,7 @@ and the machine's predicted-release profile -- never actual runtimes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..sim.machine import Machine
 from ..sim.profile import AvailabilityProfile

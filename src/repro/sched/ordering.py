@@ -14,7 +14,7 @@ studies) follow the same interface: a key function over job records.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from ..sim.results import JobRecord
 

@@ -30,7 +30,8 @@ so correctness never depends on the delta feed being wired up.
 from __future__ import annotations
 
 import bisect
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..sim.profile import AvailabilityProfile
 
@@ -114,7 +115,7 @@ class ReleaseTable:
         self._entries.clear()
         self._by_job.clear()
 
-    def resync(self, machine: "Machine") -> None:
+    def resync(self, machine: Machine) -> None:
         """Rebuild from the machine's running set (out-of-engine drivers)."""
         self.clear()
         entries = self._entries
@@ -126,7 +127,7 @@ class ReleaseTable:
             by_job[job_id] = (entry[0], entry[2])
         entries.sort()
 
-    def in_sync_with(self, machine: "Machine") -> bool:
+    def in_sync_with(self, machine: Machine) -> bool:
         """Cheap desync check for partially hook-fed drivers.
 
         Count-based only: callers that never feed deltas must resync
@@ -287,12 +288,12 @@ class IncrementalProfile(AvailabilityProfile):
             self._jobs[job_id] = (new_end, processors)
 
     # -- synchronisation -----------------------------------------------------
-    def in_sync_with(self, machine: "Machine") -> bool:
+    def in_sync_with(self, machine: Machine) -> bool:
         """Count-based desync check; see :meth:`ReleaseTable.in_sync_with`
         for the contract (all deltas or none)."""
         return len(self._jobs) == machine.n_running
 
-    def resync(self, machine: "Machine", now: float) -> None:
+    def resync(self, machine: Machine, now: float) -> None:
         """Rebuild from the machine state (out-of-engine drivers)."""
         self._jobs.clear()
         self._times = [now]

@@ -43,9 +43,9 @@ scheduled for and is dropped if the job has moved on.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Iterator
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Iterator
 
 __all__ = ["EventType", "Event", "EventQueue"]
 

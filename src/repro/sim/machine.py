@@ -12,8 +12,8 @@ computations).  Schedulers only ever read the predicted side.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable
 
 from .results import JobRecord
 

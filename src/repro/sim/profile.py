@@ -38,7 +38,7 @@ class AvailabilityProfile:
         now: float,
         free: int,
         releases: list[tuple[float, int]],
-    ) -> "AvailabilityProfile":
+    ) -> AvailabilityProfile:
         """Build the profile implied by running jobs' (end, width) pairs."""
         profile = cls(processors, now, free)
         for end_time, width in releases:
@@ -228,7 +228,7 @@ class AvailabilityProfile:
         """Merge adjacent segments with equal availability."""
         times = [self._times[0]]
         avail = [self._avail[0]]
-        for t, a in zip(self._times[1:], self._avail[1:]):
+        for t, a in zip(self._times[1:], self._avail[1:], strict=True):
             if a != avail[-1]:
                 times.append(t)
                 avail.append(a)
@@ -238,4 +238,4 @@ class AvailabilityProfile:
     # -- introspection -------------------------------------------------------
     def steps(self) -> list[tuple[float, int]]:
         """The (time, availability) breakpoints, for tests and display."""
-        return list(zip(self._times, self._avail))
+        return list(zip(self._times, self._avail, strict=True))

@@ -8,8 +8,8 @@ exposes the arrays the metrics layer consumes.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
 
 import numpy as np
 

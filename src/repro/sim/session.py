@@ -45,9 +45,10 @@ so a hot session answers repeated queries in microseconds.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 from ..obs.telemetry import NOOP
 from ..workload.job import Job
@@ -139,7 +140,7 @@ class SessionSnapshot:
     scheduler: str
     predictor: str
     corrector: str
-    stats: "EngineStats"
+    stats: EngineStats
 
 
 class SimSession:
@@ -532,6 +533,8 @@ class SimSession:
     def _note_prediction_outcome(self, record: JobRecord, runtime: float) -> None:
         """Online prediction-quality metrics, recorded as jobs finish."""
         tele = self.telemetry
+        if not tele.enabled:
+            return
         initial = record.initial_prediction
         if not initial:
             return  # never predicted by this session (no SUBMIT processed)

@@ -11,6 +11,7 @@ strings -- spec files needing those should be written as JSON instead.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from typing import Any
 
 try:  # pragma: no cover - trivially version-dependent
@@ -75,7 +76,7 @@ def _parse_subset(text: str) -> dict:
     return root
 
 
-def _logical_lines(text: str):
+def _logical_lines(text: str) -> Iterator[tuple[int, str]]:
     """Physical lines joined until brackets balance outside strings."""
     buffer = ""
     start = 0

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass, replace
-from typing import Any, Mapping
+from typing import Any
 
 from .components import (
     ComponentSpec,
@@ -79,7 +80,7 @@ class WorkloadSpec:
         seed: int | None = None,
         processors: int | None = None,
         filters: tuple | list = (),
-    ) -> "WorkloadSpec":
+    ) -> WorkloadSpec:
         from ..workload.archive import stable_seed
 
         if int(n_jobs) <= 0:
@@ -105,7 +106,7 @@ class WorkloadSpec:
         }
 
     @classmethod
-    def from_obj(cls, obj: Mapping[str, Any]) -> "WorkloadSpec":
+    def from_obj(cls, obj: Mapping[str, Any]) -> WorkloadSpec:
         extra = set(obj) - {"log", "n_jobs", "seed", "processors", "filters"}
         if extra:
             raise ValueError(f"unknown workload field(s) {sorted(extra)}")
@@ -148,7 +149,7 @@ class CellSpec:
         scheduler: ComponentSpec | str | Mapping[str, Any],
         min_prediction: float = _DEFAULT_MIN_PREDICTION,
         tau: float = _DEFAULT_TAU,
-    ) -> "CellSpec":
+    ) -> CellSpec:
         if isinstance(workload, WorkloadSpec):
             # re-normalize even ready specs: a raw-constructed WorkloadSpec
             # may carry an unresolved seed or unnormalized filter entries,
@@ -183,12 +184,12 @@ class CellSpec:
     def from_triple(
         cls,
         log: str,
-        triple: "str | Any",
+        triple: str | Any,
         n_jobs: int = 2000,
         seed: int | None = None,
         min_prediction: float = _DEFAULT_MIN_PREDICTION,
         tau: float = _DEFAULT_TAU,
-    ) -> "CellSpec":
+    ) -> CellSpec:
         """Lower a legacy ``(log, triple, n_jobs, seed, ...)`` tuple -- the
         old positional API threaded through six call sites -- to a spec."""
         from ..core.triples import HeuristicTriple
@@ -205,7 +206,7 @@ class CellSpec:
         )
 
     @classmethod
-    def from_obj(cls, obj: Mapping[str, Any]) -> "CellSpec":
+    def from_obj(cls, obj: Mapping[str, Any]) -> CellSpec:
         """Inverse of :meth:`to_obj`; tolerant of missing engine block."""
         extra = set(obj) - {
             "spec_version", "workload", "predictor", "corrector", "scheduler", "engine",
@@ -300,7 +301,7 @@ class CellSpec:
         sched = scheduler_registry().describe(self.scheduler)
         return f"{pred}|{corr}|{sched}"
 
-    def with_workload(self, **changes: Any) -> "CellSpec":
+    def with_workload(self, **changes: Any) -> CellSpec:
         """A copy with workload fields replaced (re-normalized)."""
         return replace(
             self, workload=WorkloadSpec.from_obj({**self.workload.to_obj(), **changes})

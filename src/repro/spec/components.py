@@ -27,8 +27,9 @@ round-trippable.
 from __future__ import annotations
 
 import re
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any
 
 __all__ = [
     "ComponentSpec",
@@ -57,7 +58,7 @@ class ComponentSpec:
     params: tuple[tuple[str, Any], ...] = ()
 
     @classmethod
-    def make(cls, name: str, params: Mapping[str, Any] | None = None) -> "ComponentSpec":
+    def make(cls, name: str, params: Mapping[str, Any] | None = None) -> ComponentSpec:
         items = dict(params or {})
         for key, value in items.items():
             if not isinstance(key, str):
@@ -70,7 +71,7 @@ class ComponentSpec:
         return cls(name=str(name), params=tuple(sorted(items.items())))
 
     @classmethod
-    def from_obj(cls, obj: "ComponentSpec | str | Mapping[str, Any]") -> "ComponentSpec":
+    def from_obj(cls, obj: ComponentSpec | str | Mapping[str, Any]) -> ComponentSpec:
         """Accept a ready spec, a legacy string name, or a JSON-ish dict."""
         if isinstance(obj, cls):
             return obj
@@ -308,7 +309,8 @@ def _build_predictor_registry() -> ComponentRegistry:
 
     long = {"sq": "squared", "lin": "linear"}
 
-    def make_ml(over, under, weight, eta, l2, target_scale, forgetting):
+    def make_ml(over: str, under: str, weight: str, eta: float, l2: float,
+                target_scale: float, forgetting: float) -> MLPredictor:
         if over not in long or under not in long:
             raise ValueError(
                 f"ml branches must be 'sq' or 'lin', got over={over!r} under={under!r}"
@@ -373,6 +375,7 @@ def _unparse_scheduler(spec: ComponentSpec) -> str | None:
 
 
 def _build_scheduler_registry() -> ComponentRegistry:
+    from ..sched.base import Scheduler
     from ..sched.conservative import ConservativeScheduler
     from ..sched.easy import EasyScheduler
     from ..sched.fcfs import FcfsScheduler
@@ -396,7 +399,7 @@ def _build_scheduler_registry() -> ComponentRegistry:
         lambda order: MultifactorScheduler(backfill_order=order),
         defaults={"order": "fcfs"},
     )
-    def make_rl_backfill(policy: str, store: str):
+    def make_rl_backfill(policy: str, store: str) -> Scheduler:
         # lazy: only building a learned cell pays the repro.learn import
         # (and the checkpoint load); normalizing/digesting specs does not
         from ..learn import build_rl_scheduler

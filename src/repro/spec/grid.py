@@ -45,8 +45,9 @@ from __future__ import annotations
 
 import json
 import os
+from collections.abc import Iterable, Mapping
 from itertools import product
-from typing import Any, Iterable, Mapping
+from typing import Any
 
 from ._toml import TomlError, load_toml_text
 from .cellspec import CellSpec, WorkloadSpec
@@ -74,7 +75,7 @@ class SpecFileError(ValueError):
 def load_spec_file(path: str) -> dict:
     """Parse a ``.toml`` / ``.json`` spec file into its raw document."""
     try:
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             text = fh.read()
     except OSError as exc:
         raise SpecFileError(f"{path}: {exc}") from None
@@ -288,7 +289,7 @@ def _expand_param_sweeps(entry: Any, where: str, axis: str) -> list:
     out = []
     for combo in product(*(params[key] for key in swept)):
         expanded = dict(params)
-        expanded.update(zip(swept, combo))
+        expanded.update(zip(swept, combo, strict=True))
         out.append({**entry, "params": expanded})
     return out
 

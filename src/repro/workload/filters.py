@@ -9,7 +9,6 @@ and so synthetic traces can be sanity-checked.
 
 from __future__ import annotations
 
-
 from .job import Job
 from .trace import Trace
 

@@ -73,7 +73,7 @@ class Job:
         """Ratio ``p~_j / p_j`` measuring user over-estimation (>= 1)."""
         return self.requested_time / max(self.runtime, 1e-12)
 
-    def with_updates(self, **changes) -> "Job":
+    def with_updates(self, **changes) -> Job:
         """Return a copy of the job with the given fields replaced."""
         return replace(self, **changes)
 

@@ -163,7 +163,7 @@ def load_swf(path: str | os.PathLike, processors: int | None = None) -> tuple[Tr
     Returns ``(trace, report)``.
     """
     name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
-    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+    with open(path, encoding="utf-8", errors="replace") as fh:
         return _parse_stream(fh, name=name, processors=processors)
 
 

@@ -80,7 +80,7 @@ class WorkloadModel:
     #: desired trace span in days; ``None`` lets the load calibration pick.
     target_days: float | None = None
 
-    def resized(self, n_jobs: int) -> "WorkloadModel":
+    def resized(self, n_jobs: int) -> WorkloadModel:
         """Same model with a different job-count target.
 
         The user population shrinks with the square root of the job count
@@ -250,7 +250,7 @@ def synthesize(model: WorkloadModel, seed: int = 0) -> Trace:
     weights = weights / weights.sum()
     raw: list[tuple[float, UserProfile, object]] = []
     owner_of_session = rng.choice(len(profiles), p=weights, size=len(session_starts))
-    for start, owner_idx in zip(session_starts, owner_of_session):
+    for start, owner_idx in zip(session_starts, owner_of_session, strict=True):
         profile = profiles[int(owner_idx)]
         for sj in profile.generate_session(rng):
             raw.append((float(start + sj.offset), profile, sj))
@@ -307,7 +307,7 @@ def synthesize(model: WorkloadModel, seed: int = 0) -> Trace:
     scale = 1.0
     pairs = realised(scale)
     for _ in range(10):
-        achieved = sum(rt * sj.processors for (_, rt), (_, _, sj) in zip(pairs, raw))
+        achieved = sum(rt * sj.processors for (_, rt), (_, _, sj) in zip(pairs, raw, strict=True))
         correction = wanted_area / max(achieved, 1.0)
         if 0.97 <= correction <= 1.03:
             break
@@ -325,7 +325,7 @@ def synthesize(model: WorkloadModel, seed: int = 0) -> Trace:
     last_submit = t0
     jobs: list[Job] = []
     for idx, ((submit, profile, sj), (requested, runtime)) in enumerate(
-        zip(raw, pairs), start=1
+        zip(raw, pairs, strict=True), start=1
     ):
         earliest = t0 + cumulative_area / (m_eff * overload_cap)
         shaped_submit = max(submit, earliest, last_submit)

@@ -8,8 +8,8 @@ used for calibration checks and reporting (Table 4 of the paper).
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -147,7 +147,7 @@ class Trace:
         )
 
     # -- transformations -----------------------------------------------------
-    def filter(self, predicate: Callable[[Job], bool], name: str | None = None) -> "Trace":
+    def filter(self, predicate: Callable[[Job], bool], name: str | None = None) -> Trace:
         """Return a new trace containing only jobs satisfying ``predicate``."""
         return Trace(
             (j for j in self._jobs if predicate(j)),
@@ -156,7 +156,7 @@ class Trace:
             unix_start_time=self.unix_start_time,
         )
 
-    def head(self, n: int, name: str | None = None) -> "Trace":
+    def head(self, n: int, name: str | None = None) -> Trace:
         """Return a new trace with only the first ``n`` jobs (submit order)."""
         return Trace(
             self._jobs[: max(0, n)],
@@ -165,7 +165,7 @@ class Trace:
             unix_start_time=self.unix_start_time,
         )
 
-    def rebase_time(self, name: str | None = None) -> "Trace":
+    def rebase_time(self, name: str | None = None) -> Trace:
         """Shift submit times so the first job is released at t=0."""
         if not self._jobs:
             return self

@@ -1,0 +1,10 @@
+# dest: src/repro/sim/fixture.py
+"""Known-bad DET001 corpus: ambient wall-clock and entropy sources."""
+import random
+import time
+from datetime import datetime
+
+
+def jitter() -> float:
+    random.seed(0)
+    return time.time() + random.random() + datetime.now().timestamp()

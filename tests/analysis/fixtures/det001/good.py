@@ -1,0 +1,13 @@
+# dest: src/repro/sim/fixture.py
+"""Known-good DET001 corpus: seeded generators and monotonic timing."""
+import random
+from time import perf_counter
+
+import numpy as np
+
+
+def simulate(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    toss = random.Random(seed).random()
+    t0 = perf_counter()
+    return rng.random() + toss + (perf_counter() - t0)

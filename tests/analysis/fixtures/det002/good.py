@@ -1,0 +1,19 @@
+# dest: src/repro/dist/fixture.py
+"""Known-good DET002 corpus: scans sorted or reduced to order-free sets."""
+import glob
+import os
+
+
+def scan(directory: str) -> list[str]:
+    names = sorted(os.listdir(directory))
+    names.extend(sorted(glob.glob(directory + "/*.json")))
+    names.extend(sorted(name for name in os.listdir(directory) if name))
+    return names
+
+
+def ids(directory: str) -> set[str]:
+    return {name for name in os.listdir(directory)}
+
+
+def count(directory: str) -> int:
+    return len(os.listdir(directory))

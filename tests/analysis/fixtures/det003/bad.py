@@ -1,0 +1,9 @@
+# dest: src/repro/sched/fixture.py
+"""Known-bad DET003 corpus: engine behaviour keyed off the environment."""
+import os
+
+LIMIT = float(os.environ.get("REPRO_LIMIT", "1.0"))
+
+
+def depth() -> str | None:
+    return os.getenv("REPRO_DEPTH")

@@ -1,0 +1,6 @@
+# dest: src/repro/sched/fixture.py
+"""Known-good DET003 corpus: knobs arrive as explicit parameters."""
+
+
+def depth(limit: float, configured_depth: int) -> float:
+    return limit * configured_depth

@@ -1,0 +1,21 @@
+# dest: src/repro/dist/fixture.py
+"""Known-good DUR001 corpus: write-tmp-then-replace, append-only streams."""
+import json
+import os
+
+
+def save(path: str, payload: dict) -> None:
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+def append_row(path: str, row: str) -> None:
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(row + "\n")
+
+
+def read(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

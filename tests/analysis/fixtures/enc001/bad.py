@@ -1,0 +1,12 @@
+# dest: src/repro/workload/fixture.py
+"""Known-bad ENC001 corpus: platform-default text encoding."""
+
+
+def read(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+def write(path: str, text: str) -> None:
+    with open(path, "w") as fh:  # repro: noqa[DUR001]
+        fh.write(text)

@@ -1,0 +1,12 @@
+# dest: src/repro/workload/fixture.py
+"""Known-good ENC001 corpus: encoding pinned; binary exempt."""
+
+
+def read(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
+def read_bytes(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()

@@ -1,0 +1,8 @@
+# dest: src/repro/obs/fixture.py
+"""Known-bad IMP001 corpus: obs reaching into other layers."""
+import repro.spec
+from ..sim.engine import ENGINE_VERSION
+
+
+def version() -> int:
+    return ENGINE_VERSION if repro.spec else 0

@@ -1,0 +1,10 @@
+# dest: src/repro/obs/fixture.py
+"""Known-good IMP001 corpus: stdlib and intra-obs imports only."""
+import json
+import math
+
+from .telemetry import NOOP
+
+
+def render() -> str:
+    return json.dumps({"pi": math.pi, "enabled": NOOP.enabled})

@@ -1,0 +1,14 @@
+# dest: src/repro/sim/fixture.py
+"""Known-bad OBS001 corpus: telemetry mutators outside the enabled guard."""
+
+
+def record(tele, n: int) -> None:
+    tele.inc("engine.events", n)
+
+
+class Engine:
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def step(self, depth: int) -> None:
+        self.telemetry.observe("engine.queue_depth", depth)

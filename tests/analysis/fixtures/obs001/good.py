@@ -1,0 +1,30 @@
+# dest: src/repro/sim/fixture.py
+"""Known-good OBS001 corpus: the NOOP-guarded attribute pattern."""
+
+
+def record(tele, n: int) -> None:
+    if tele.enabled:
+        tele.inc("engine.events", n)
+
+
+def early_exit(telemetry, depth: int) -> None:
+    if not telemetry.enabled:
+        return
+    telemetry.observe("engine.queue_depth", depth)
+
+
+def spans(tele) -> None:
+    # span() is inert when disabled; no guard required
+    with tele.span("engine.sched_pass"):
+        pass
+
+
+class Engine:
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def step(self, depth: int) -> None:
+        tele = self.telemetry
+        if tele.enabled:
+            tele.observe("engine.queue_depth", depth)
+            tele.inc("engine.sched.passes")

@@ -1,0 +1,9 @@
+# dest: src/repro/dist/fixture.py
+"""Known-good OBS002 corpus: logging instead of stdout."""
+import logging
+
+log = logging.getLogger("repro.dist.fixture")
+
+
+def harvest(shard: str) -> None:
+    log.info("harvested %s", shard)

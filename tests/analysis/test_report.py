@@ -1,0 +1,53 @@
+"""Reporters: text rendering and the JSON artifact schema."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import all_rules, format_json, format_text, to_json_obj
+from repro.analysis.core import Finding
+from repro.analysis.report import REPORT_VERSION
+
+FINDINGS = [
+    Finding("src/repro/sim/a.py", 3, 4, "DET001", "time.time() is a wall clock"),
+    Finding("src/repro/sim/a.py", 9, 0, "DET001", "datetime.now() is a wall clock"),
+    Finding("src/repro/dist/b.py", 1, 2, "DET002", "unsorted scan"),
+]
+
+
+class TestTextReport:
+    def test_one_line_per_finding_plus_summary(self):
+        text = format_text(FINDINGS, 12, all_rules())
+        lines = text.splitlines()
+        assert lines[0] == "src/repro/sim/a.py:3:4: DET001 time.time() is a wall clock"
+        assert "3 finding(s) in 12 file(s)" in lines[-1]
+        assert "DET001:2" in lines[-1] and "DET002:1" in lines[-1]
+        assert "repro: noqa" in lines[-1]
+
+    def test_clean_summary(self):
+        text = format_text([], 12, all_rules())
+        assert text.startswith("ok: 12 file(s) clean")
+        assert "DET001" in text
+
+
+class TestJsonReport:
+    def test_schema(self):
+        obj = to_json_obj(FINDINGS, 12, all_rules())
+        assert obj["version"] == REPORT_VERSION == 1
+        assert obj["tool"] == "repro check"
+        assert obj["files_checked"] == 12
+        assert obj["ok"] is False
+        assert obj["counts"] == {"DET001": 2, "DET002": 1}
+        assert set(obj["rules"]) >= {"DET001", "FRZ001", "SPEC001"}
+        first = obj["findings"][0]
+        assert set(first) == {"rule", "path", "line", "col", "message"}
+        assert first["line"] == 3 and first["col"] == 4
+
+    def test_clean_schema(self):
+        obj = to_json_obj([], 5, all_rules())
+        assert obj["ok"] is True
+        assert obj["findings"] == [] and obj["counts"] == {}
+
+    def test_format_json_round_trips(self):
+        obj = json.loads(format_json(FINDINGS, 12, all_rules()))
+        assert obj == to_json_obj(FINDINGS, 12, all_rules())

@@ -45,7 +45,7 @@ class TestNormalization:
         assert dict(spec.params) == {"policy": saved_digest, "store": ""}
 
     def test_policy_param_is_required(self):
-        with pytest.raises(Exception, match="policy"):
+        with pytest.raises(ValueError, match="policy"):
             scheduler_registry().normalize({"name": "rl-backfill"})
 
     def test_no_legacy_triple_spelling(self, saved_digest):

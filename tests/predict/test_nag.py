@@ -100,7 +100,7 @@ class TestScaleInvariance:
         opt_b = NagOptimizer(3, eta=0.3)
         scaling = np.array([1.0, scale, 1.0])
         preds_a, preds_b = [], []
-        for x, y in zip(xs, ys):
+        for x, y in zip(xs, ys, strict=True):
             pa = opt_a.predict(x)
             pb = opt_b.predict(x * scaling)
             preds_a.append(pa)

@@ -43,7 +43,7 @@ class TestConservativeSelection:
         cons = simulate(kth_trace, ConservativeScheduler(), RequestedTimePredictor())
         # both complete all jobs; schedules are valid but different
         assert len(easy) == len(cons)
-        assert any(a.start_time != b.start_time for a, b in zip(easy, cons))
+        assert any(a.start_time != b.start_time for a, b in zip(easy, cons, strict=True))
 
     def test_runs_clean_with_clairvoyance(self, tiny_trace):
         result = simulate(tiny_trace, ConservativeScheduler(), ClairvoyantPredictor())

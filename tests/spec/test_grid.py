@@ -183,7 +183,7 @@ class TestTomlFallback:
         "path", ["experiments/paper.toml", "experiments/smallbox.toml"]
     )
     def test_agrees_on_checked_in_specs(self, path):
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             text = fh.read()
         assert _parse_subset(text) == load_toml_text(text)
 

@@ -110,7 +110,7 @@ class TestRoundTrip:
         assert report.n_skipped == 0
         assert len(back) == len(trace)
         assert back.processors == 32
-        for a, b in zip(trace, back):
+        for a, b in zip(trace, back, strict=True):
             assert a.job_id == b.job_id
             assert a.submit_time == pytest.approx(b.submit_time)
             assert a.runtime == pytest.approx(b.runtime)
@@ -134,5 +134,5 @@ class TestRoundTrip:
         assert report.n_skipped == 0
         assert back.processors == kth_trace.processors
         # runtimes are written as integer seconds; tolerate rounding
-        for a, b in zip(kth_trace, back):
+        for a, b in zip(kth_trace, back, strict=True):
             assert abs(a.runtime - b.runtime) <= 0.5 + 1e-9

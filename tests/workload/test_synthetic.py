@@ -43,7 +43,7 @@ class TestSynthesize:
         a = synthesize(small_model(), seed=7)
         b = synthesize(small_model(), seed=7)
         assert len(a) == len(b)
-        for ja, jb in zip(a, b):
+        for ja, jb in zip(a, b, strict=True):
             assert ja.submit_time == jb.submit_time
             assert ja.runtime == jb.runtime
             assert ja.processors == jb.processors
@@ -52,7 +52,7 @@ class TestSynthesize:
     def test_different_seeds_differ(self):
         a = synthesize(small_model(), seed=1)
         b = synthesize(small_model(), seed=2)
-        assert any(x.runtime != y.runtime for x, y in zip(a, b))
+        assert any(x.runtime != y.runtime for x, y in zip(a, b, strict=False))
 
     def test_invariants(self):
         trace = synthesize(small_model(), seed=3)

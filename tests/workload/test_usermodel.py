@@ -41,7 +41,7 @@ class TestWideJobCap:
 
     def test_cap_monotone_in_width(self):
         caps = [wide_job_runtime_cap(w, 128, 3600.0) for w in range(1, 129)]
-        assert all(a >= b for a, b in zip(caps, caps[1:]))
+        assert all(a >= b for a, b in zip(caps, caps[1:], strict=False))
 
 
 class TestProfileSampling:
@@ -100,7 +100,7 @@ class TestSessionGeneration:
             runtimes = []
             for _ in range(6):
                 runtimes.extend(j.runtime for j in profile.generate_session(rng))
-            for a, b in zip(runtimes, runtimes[1:]):
+            for a, b in zip(runtimes, runtimes[1:], strict=False):
                 ratios.append(max(a, b) / min(a, b))
         # median consecutive ratio should be modest (strong locality)
         assert np.median(ratios) < 4.0
@@ -126,7 +126,7 @@ class TestSessionGeneration:
         for profile in profiles:
             for _ in range(10):
                 session = profile.generate_session(rng)
-                for prev, cur in zip(session, session[1:]):
+                for prev, cur in zip(session, session[1:], strict=False):
                     if prev.failed:
                         after_failure.append(cur.failed)
         if len(after_failure) >= 30:
