@@ -213,7 +213,7 @@ def run_dispatch_bench(quick: bool) -> dict:
         "requested|none|conservative",
     ]
     cells = [config.cell_spec(log, key, seed) for key in triple_keys]
-    trace_digest(log, n_jobs, seed)  # warm the shared digest memo
+    trace_digest(log, n_jobs, seed)  # warm the shared bundle cache
 
     def on_result(_spec, _value, _seconds=None):
         pass
@@ -247,6 +247,68 @@ def run_dispatch_bench(quick: bool) -> dict:
         "fsqueue_seconds": round(fsqueue_seconds, 4),
         "overhead_seconds_per_cell": round(overhead / len(cells), 4),
         "overhead_percent": round(overhead / local_seconds * 100.0, 1),
+    }
+
+
+def run_batch_bench(quick: bool) -> dict:
+    """Per-cell fixed cost: batched shared-bundle runs vs cold per-cell runs.
+
+    Runs one shared-trace group of cells twice -- once with the bundle
+    cache cleared before **every** cell (the pre-batching regime: trace
+    materialisation, digest, and static feature matrix paid per cell)
+    and once through :class:`repro.core.BatchRunner` over a single warm
+    bundle.  Scores must match exactly; the per-cell wall-clock
+    difference is the fixed cost the batched campaign path amortises
+    across the group.  Minimum over a few repetitions per side so
+    background noise cancels.
+    """
+    from repro.core import BatchRunner, CampaignConfig, clear_bundle_cache, run_cell
+
+    log = "KTH-SP2"
+    n_jobs = 100 if quick else 250
+    config = CampaignConfig(logs=(log,), n_jobs=n_jobs, replicas=1)
+    seed = config.seeds_for(log)[0]
+    triple_keys = [
+        "requested|none|easy",
+        "requested|none|easy-sjbf",
+        "clairvoyant|none|easy",
+        "clairvoyant|none|easy-sjbf",
+        "ave2|incremental|easy",
+        "ave2|incremental|easy-sjbf",
+        "ave3|incremental|easy-sjbf",
+        "requested|none|conservative",
+    ]
+    cells = [config.cell_spec(log, key, seed) for key in triple_keys]
+
+    reps = 2 if quick else 3
+    sequential = batched = float("inf")
+    identical = True
+    for _ in range(reps):
+        sequential_scores = []
+        t0 = time.perf_counter()
+        for spec in cells:
+            clear_bundle_cache()  # every cell pays the full fixed cost
+            sequential_scores.append(run_cell(spec))
+        sequential = min(sequential, time.perf_counter() - t0)
+
+        clear_bundle_cache()  # one cold build, then the group shares it
+        t0 = time.perf_counter()
+        results = BatchRunner().run(cells)
+        batched = min(batched, time.perf_counter() - t0)
+        batched_scores = [score for _spec, score, _report in results]
+        identical = identical and batched_scores == sequential_scores
+    drop = (sequential - batched) / len(cells)
+    return {
+        "cells": len(cells),
+        "n_jobs": n_jobs,
+        "trace_groups": 1,
+        "sequential_seconds": round(sequential, 4),
+        "batched_seconds": round(batched, 4),
+        "fixed_cost_drop_seconds_per_cell": round(drop, 6),
+        "fixed_cost_drop_percent": round(
+            (sequential - batched) / sequential * 100.0, 1
+        ),
+        "scores_identical": identical,
     }
 
 
@@ -327,6 +389,15 @@ def run_benchmark(quick: bool) -> dict:
         f"overhead={dispatch['overhead_seconds_per_cell']*1000:6.1f}ms/cell "
         f"({dispatch['overhead_percent']:.1f}%)"
     )
+    batched = run_batch_bench(quick)
+    print(
+        f"  {'batched/shared-trace':24s} "
+        f"sequential={batched['sequential_seconds']:7.3f}s "
+        f"batched={batched['batched_seconds']:7.3f}s "
+        f"drop={batched['fixed_cost_drop_seconds_per_cell']*1000:6.1f}ms/cell "
+        f"({batched['fixed_cost_drop_percent']:.1f}%) "
+        f"identical={batched['scores_identical']}"
+    )
     telemetry = run_telemetry_bench(quick)
     print(
         f"  {'telemetry/enabled':24s} off={telemetry['disabled_seconds']:7.3f}s "
@@ -343,6 +414,7 @@ def run_benchmark(quick: bool) -> dict:
         "python": platform.python_version(),
         "scenarios": scenarios,
         "dispatch": dispatch,
+        "batched": batched,
         "telemetry": telemetry,
         "total_profile_seconds": round(total_profile, 4),
         "total_legacy_seconds": round(total_legacy, 4),
@@ -392,6 +464,17 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if report["overall_speedup"] < args.min_speedup:
         print(f"FAIL: overall speedup below the {args.min_speedup}x target")
+        return 1
+    batched = report["batched"]
+    if not batched["scores_identical"]:
+        print("FAIL: batched shared-bundle scores diverge from per-cell runs")
+        return 1
+    if batched["fixed_cost_drop_seconds_per_cell"] <= 0.0:
+        print(
+            "FAIL: batching did not reduce the per-cell fixed cost "
+            f"(sequential {batched['sequential_seconds']}s vs "
+            f"batched {batched['batched_seconds']}s)"
+        )
         return 1
     return 0
 

@@ -1,0 +1,308 @@
+"""Batched campaign execution: share traces and feature matrices.
+
+The paper's campaign is a 128+2-cell matrix replayed over a handful of
+workloads, so most cells differ only in their component triple while the
+trace underneath is identical.  Before this module every cell paid its
+own fixed cost -- regenerate (or re-parse) the trace, re-digest it,
+re-derive the predictor's schedule-independent feature columns -- which
+dominates small cells.  Here that cost is paid **once per trace identity
+per process** and shared:
+
+* :func:`workload_key` names a trace identity: the canonical JSON of the
+  workload spec (log, n_jobs, seed, filters, processors override).  Two
+  cells with equal keys replay byte-identical job streams.
+* :class:`TraceBundle` is the shared, immutable artifact of one
+  identity: the materialised :class:`~repro.workload.trace.Trace`, its
+  content digest, and (lazily, only when an ML cell asks) the
+  precomputed static feature rows of
+  :func:`repro.predict.features.compute_static_features`.
+* :class:`BundleCache` is a small per-process LRU of bundles whose
+  digest memo survives eviction, replacing the ad-hoc digest dicts the
+  campaign layer used to keep.  :func:`run_spec
+  <repro.core.run.run_spec>` sources every trace through it, so the
+  sharing works identically in the serial path, pool children and
+  ``repro worker`` processes.
+* :func:`group_cells` / :func:`plan_batches` organise a cell list into
+  trace-pure groups (and bounded chunks of them) so dispatch layers can
+  keep same-trace cells adjacent in one process.
+* :class:`BatchRunner` streams grouped cells through the shared cell
+  runner; :func:`run_batch_report` is its module-level picklable form
+  for process pools.
+
+Schedules are **byte-identical** to the unbatched path: the bundle only
+changes *when* work happens (once per group instead of once per cell),
+never what is computed.  Memory cost is bounded by the LRU capacity
+(a few simulation-sized traces, a handful of MB).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..spec import CellSpec, WorkloadSpec, canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from ..workload.trace import Trace
+
+__all__ = [
+    "DEFAULT_BUNDLE_CAPACITY",
+    "DEFAULT_MAX_BATCH",
+    "workload_key",
+    "TraceBundle",
+    "BundleCache",
+    "bundle_cache",
+    "get_bundle",
+    "clear_bundle_cache",
+    "group_cells",
+    "plan_batches",
+    "BatchStats",
+    "BatchRunner",
+    "run_batch_report",
+]
+
+#: How many materialised traces one process keeps alive at once.  Grouped
+#: dispatch sends same-trace cells adjacently, so even capacity 1 would
+#: amortise; a little headroom also serves interleaved direct callers.
+DEFAULT_BUNDLE_CAPACITY = 4
+
+#: Ceiling on how many same-trace cells ride one pool submission.  Large
+#: enough to amortise the per-process bundle build, small enough that one
+#: big group still spreads over the pool.
+DEFAULT_MAX_BATCH = 8
+
+
+def workload_key(workload: WorkloadSpec) -> str:
+    """The trace-identity key: canonical JSON of the workload spec.
+
+    Cells whose workloads render to the same key replay byte-identical
+    job streams, so their trace (and every schedule-independent artifact
+    derived from it) can be shared.
+    """
+    return canonical_json(workload.to_obj())
+
+
+class TraceBundle:
+    """One materialised workload, shared read-only by a group of cells.
+
+    Everything here is schedule-independent: the trace itself, its
+    content digest, and the static feature rows.  Bundles are built by
+    :class:`BundleCache` and must never be mutated -- concurrent cells
+    of one group all read the same objects.
+    """
+
+    def __init__(self, workload: WorkloadSpec, trace: Trace) -> None:
+        self.workload = workload
+        self.key = workload_key(workload)
+        self.trace = trace
+        self._digest: str | None = None
+        self._static_rows: dict[int, np.ndarray] | None = None
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the trace (lazily computed, then memoised)."""
+        if self._digest is None:
+            self._digest = self.trace.digest()
+        return self._digest
+
+    def static_rows(self) -> dict[int, np.ndarray]:
+        """job_id -> precomputed static feature row, for ML predictors.
+
+        Computed on first request only (non-ML groups never pay) and
+        bit-identical to what :func:`repro.predict.features
+        .extract_features` derives live -- the trace iterates in
+        (submit_time, job_id) order, which is exactly the order SUBMIT
+        events drain, so per-user request aggregates replay exactly.
+        """
+        if self._static_rows is None:
+            from ..predict.features import compute_static_features
+
+            self._static_rows = compute_static_features(self.trace)
+        return self._static_rows
+
+
+class BundleCache:
+    """Bounded per-process LRU of :class:`TraceBundle` objects.
+
+    The digest memo outlives eviction: digests are 16-hex strings the
+    campaign layer asks for constantly (every cache token embeds one),
+    while the trace itself is only needed when a cell actually
+    simulates.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_BUNDLE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"bundle cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._bundles: OrderedDict[str, TraceBundle] = OrderedDict()
+        #: workload key -> trace digest, kept across bundle eviction.
+        self._digests: dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+    def get(self, workload: WorkloadSpec) -> TraceBundle:
+        """The (shared) bundle for a workload, materialising on miss."""
+        key = workload_key(workload)
+        bundle = self._bundles.get(key)
+        if bundle is not None:
+            self._bundles.move_to_end(key)
+            self.hits += 1
+            return bundle
+        from .run import build_workload
+
+        self.misses += 1
+        bundle = TraceBundle(workload, build_workload(workload))
+        self._bundles[key] = bundle
+        while len(self._bundles) > self.capacity:
+            evicted_key, evicted = self._bundles.popitem(last=False)
+            if evicted._digest is not None:
+                self._digests[evicted_key] = evicted._digest
+        return bundle
+
+    def digest_of(self, workload: WorkloadSpec) -> str:
+        """Trace content digest for a workload (memo survives eviction)."""
+        key = workload_key(workload)
+        bundle = self._bundles.get(key)
+        if bundle is not None:
+            self._bundles.move_to_end(key)
+            digest = bundle.digest
+        else:
+            digest = self._digests.get(key) or self.get(workload).digest
+        self._digests[key] = digest
+        return digest
+
+    def clear(self) -> None:
+        """Drop every bundle *and* the digest memo (cold-start state)."""
+        self._bundles.clear()
+        self._digests.clear()
+
+
+#: The process-wide cache every execution path shares.  Pool children and
+#: distributed workers each hold their own (module state is per process).
+_CACHE = BundleCache()
+
+
+def bundle_cache() -> BundleCache:
+    """The process-global bundle cache."""
+    return _CACHE
+
+
+def get_bundle(workload: WorkloadSpec) -> TraceBundle:
+    """Shared bundle for a workload from the process-global cache."""
+    return _CACHE.get(workload)
+
+
+def clear_bundle_cache() -> None:
+    """Reset the process-global cache (tests / cold-cost measurement)."""
+    _CACHE.clear()
+
+
+def group_cells(
+    cells: Sequence[CellSpec],
+) -> list[tuple[str, list[CellSpec]]]:
+    """Group cells by trace identity, order-preserving.
+
+    Groups appear in first-cell order and cells keep their relative
+    order inside each group, so regrouping an already group-major list
+    is the identity.
+    """
+    groups: dict[str, list[CellSpec]] = {}
+    order: list[str] = []
+    for cell in cells:
+        key = workload_key(cell.workload)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = bucket = []
+            order.append(key)
+        bucket.append(cell)
+    return [(key, groups[key]) for key in order]
+
+
+def plan_batches(
+    cells: Sequence[CellSpec], max_batch: int = DEFAULT_MAX_BATCH
+) -> list[list[CellSpec]]:
+    """Trace-pure batches of at most ``max_batch`` cells.
+
+    Every batch holds cells of exactly one trace identity, so a process
+    running it materialises one bundle; groups larger than ``max_batch``
+    split into several batches to keep a pool balanced.  Deterministic
+    and order-preserving (group-major, campaign order within).
+    """
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    batches: list[list[CellSpec]] = []
+    for _key, group in group_cells(cells):
+        for start in range(0, len(group), max_batch):
+            batches.append(group[start : start + max_batch])
+    return batches
+
+
+@dataclass
+class BatchStats:
+    """What one :class:`BatchRunner` invocation did."""
+
+    cells: int = 0
+    groups: int = 0
+    #: bundles actually materialised (misses); groups - misses were
+    #: already warm in this process.
+    bundles_built: int = 0
+
+
+class BatchRunner:
+    """Streams a campaign's cells through the shared cell runner,
+    grouped by trace identity so each group's bundle is materialised
+    once and reused by every cell in it.
+
+    Results are identical to calling :func:`repro.core.run.run_cell` per
+    cell -- only the fixed per-cell cost (trace regeneration, digesting,
+    static feature extraction) collapses to once per group.
+    """
+
+    def __init__(self, with_telemetry: bool = False) -> None:
+        self.with_telemetry = with_telemetry
+        self.stats = BatchStats()
+
+    def run(
+        self,
+        cells: Sequence[CellSpec],
+        on_result: Callable[[CellSpec, float, dict], None] | None = None,
+    ) -> list[tuple[CellSpec, float, dict]]:
+        """Run every cell; returns ``(spec, score, report)`` triples in
+        group-major order.  ``on_result`` (optional) streams each triple
+        as it finishes."""
+        from .run import run_cell_report
+
+        cache = bundle_cache()
+        results: list[tuple[CellSpec, float, dict]] = []
+        for _key, group in group_cells(cells):
+            self.stats.groups += 1
+            misses_before = cache.misses
+            for spec in group:
+                score, report = run_cell_report(
+                    spec, with_telemetry=self.with_telemetry
+                )
+                self.stats.cells += 1
+                results.append((spec, score, report))
+                if on_result is not None:
+                    on_result(spec, score, report)
+            self.stats.bundles_built += cache.misses - misses_before
+        return results
+
+
+def run_batch_report(
+    cells: Sequence[CellSpec], with_telemetry: bool = False
+) -> list[tuple[CellSpec, float, dict]]:
+    """Module-level picklable batch runner for process pools.
+
+    One pool submission carries a whole trace-pure batch, so the child
+    process pays the bundle build once and every other cell of the batch
+    rides the warm cache.
+    """
+    return BatchRunner(with_telemetry=with_telemetry).run(cells)

@@ -38,8 +38,9 @@ from ..metrics.slowdown import DEFAULT_TAU
 from ..obs.telemetry import NOOP, Telemetry
 from ..sim.engine import ENGINE_VERSION
 from ..spec import CellSpec, WorkloadSpec
-from ..workload.archive import LOG_NAMES, get_trace, stable_seed
-from .run import build_workload, run_cell_report
+from ..workload.archive import LOG_NAMES, stable_seed
+from .batch import bundle_cache, group_cells
+from .run import run_cell_report
 from .triples import (
     EASY_TRIPLE,
     EASYPP_TRIPLE,
@@ -79,45 +80,29 @@ CACHE_VERSION = 5
 #: format are still readable -- see :func:`upgrade_legacy_token`.
 LEGACY_CACHE_VERSION = 4
 
-#: memoised (log, n_jobs, seed) -> 16-hex digest of the generated trace.
-_DIGEST_MEMO: dict[tuple[str, int, int], str] = {}
-
-#: memoised workload-spec digest -> trace digest (filtered/resized ones).
-_WORKLOAD_DIGEST_MEMO: dict[str, str] = {}
-
-
 def trace_digest(log: str, n_jobs: int, seed: int) -> str:
     """Content digest of the synthetic trace a campaign cell runs on.
 
-    Memoised per process: the first call generates the trace (the same
-    deterministic generation the worker will repeat) and hashes its job
-    arrays, so generator changes or reseeding invalidate exactly the
-    affected cache cells and nothing else.
+    Delegates to the per-process :class:`repro.core.batch.BundleCache`:
+    the first call materialises the trace -- the **same** bundle a
+    subsequent :func:`~repro.core.run.run_spec` on that workload reuses
+    -- and hashes its job arrays, so generator changes or reseeding
+    invalidate exactly the affected cache cells and nothing else.
     """
-    key = (log, n_jobs, seed)
-    digest = _DIGEST_MEMO.get(key)
-    if digest is None:
-        digest = get_trace(log, n_jobs=n_jobs, seed=seed).digest()
-        _DIGEST_MEMO[key] = digest
-    return digest
+    return bundle_cache().digest_of(
+        WorkloadSpec.make(log, n_jobs=n_jobs, seed=seed)
+    )
 
 
 def workload_digest(workload: WorkloadSpec) -> str:
     """Trace content digest for any workload spec.
 
-    Plain workloads share the classic ``(log, n_jobs, seed)`` memo;
-    filtered or machine-resized ones digest the trace they actually
+    Backed by the shared bundle cache (digests survive bundle eviction):
+    filtered or machine-resized workloads digest the trace they actually
     produce, so filter/override changes invalidate exactly their own
     cells.
     """
-    if workload.is_plain:
-        return trace_digest(workload.log, workload.n_jobs, workload.seed)
-    memo_key = json.dumps(workload.to_obj(), sort_keys=True)
-    digest = _WORKLOAD_DIGEST_MEMO.get(memo_key)
-    if digest is None:
-        digest = build_workload(workload).digest()
-        _WORKLOAD_DIGEST_MEMO[memo_key] = digest
-    return digest
+    return bundle_cache().digest_of(workload)
 
 
 def cell_token(spec: CellSpec, trace_digest_hint: str | None = None) -> str:
@@ -730,6 +715,11 @@ def _execute_cells(
         }
     )
     if pending:
+        # group-major dispatch order: same-trace cells land adjacently so
+        # every backend (serial loop, pool batches, fsqueue shards) shares
+        # one materialised trace bundle per group instead of paying the
+        # per-cell fixed cost
+        pending = [spec for _key, group in group_cells(pending) for spec in group]
         done = 0
 
         def record(

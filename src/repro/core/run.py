@@ -23,6 +23,7 @@ from ..sim.session import SimSession
 from ..spec import CellSpec, WorkloadSpec, filter_registry
 from ..workload.archive import get_trace, stable_seed
 from ..workload.trace import Trace
+from .batch import TraceBundle, get_bundle
 from .triples import HeuristicTriple
 
 __all__ = [
@@ -88,6 +89,15 @@ def build_workload(workload: WorkloadSpec) -> Trace:
     return trace
 
 
+def _bind_static(predictor: object, bundle: TraceBundle) -> None:
+    """Hand the bundle's precomputed static feature rows to predictors
+    that can use them (duck-typed: only ML predictors expose the hook).
+    """
+    binder = getattr(predictor, "bind_static_features", None)
+    if binder is not None:
+        binder(bundle.static_rows())
+
+
 def run_spec(spec: CellSpec, telemetry: Telemetry | None = None) -> RunOutcome:
     """Run one fully-specified cell.  Deterministic in the spec.
 
@@ -97,8 +107,12 @@ def run_spec(spec: CellSpec, telemetry: Telemetry | None = None) -> RunOutcome:
     """
     tele = telemetry
     t0 = perf_counter() if tele is not None and tele.enabled else 0.0
-    trace = build_workload(spec.workload)
+    # traces come from the shared per-process bundle cache: same-trace
+    # cells of a batched campaign pay the materialisation once
+    bundle = get_bundle(spec.workload)
+    trace = bundle.trace
     scheduler, predictor, corrector = spec.build_components()
+    _bind_static(predictor, bundle)
     session = SimSession(
         trace.processors,
         scheduler,
@@ -145,8 +159,10 @@ def run_spec_result(spec: CellSpec) -> SimulationResult:
     starts, predictions, corrections) for plotting, metrics and
     timelines.  Deterministic in the spec.
     """
-    trace = build_workload(spec.workload)
+    bundle = get_bundle(spec.workload)
+    trace = bundle.trace
     scheduler, predictor, corrector = spec.build_components()
+    _bind_static(predictor, bundle)
     session = SimSession(
         trace.processors,
         scheduler,

@@ -26,6 +26,7 @@ from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, as_completed
 
+from ..core.batch import DEFAULT_MAX_BATCH, plan_batches, run_batch_report
 from ..core.campaign import parse_cache_record
 from ..obs import get_logger
 from ..obs.telemetry import NOOP, Telemetry
@@ -82,10 +83,20 @@ class Broker(ABC):
 
 
 class LocalBroker(Broker):
-    """Single-host process-pool fan-out (the classic campaign path)."""
+    """Single-host process-pool fan-out (the classic campaign path).
 
-    def __init__(self, workers: int | None = None) -> None:
+    Cells dispatch in trace-pure batches (:func:`repro.core.batch
+    .plan_batches`): one pool submission carries up to ``max_batch``
+    same-trace cells, so the child process materialises the shared trace
+    bundle once per batch instead of once per cell.  ``max_batch=1``
+    restores exact per-cell submission.
+    """
+
+    def __init__(
+        self, workers: int | None = None, max_batch: int | None = None
+    ) -> None:
         self.workers = workers
+        self.max_batch = DEFAULT_MAX_BATCH if max_batch is None else max_batch
 
     def dispatch(
         self,
@@ -94,8 +105,6 @@ class LocalBroker(Broker):
         emit: EmitCallback | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
-        from ..core.campaign import _run_one
-
         tele = telemetry if telemetry is not None else NOOP
         with_tel = tele.enabled
         # bench-seeded estimates (the shard planner's model) let the
@@ -129,20 +138,32 @@ class LocalBroker(Broker):
         if workers is None:
             cpu = os.cpu_count() or 1
             workers = max(1, min(cpu - 1, 16))
+        # never batch so coarsely that the pool has fewer batches than
+        # workers: a tiny campaign still spreads over every worker
+        cap = max(1, min(self.max_batch, -(-len(jobs) // max(1, workers))))
+        batches = plan_batches(jobs, max_batch=cap)
         _log.info(
-            "local dispatch: %d cell(s) over %d worker(s)", len(jobs), workers
+            "local dispatch: %d cell(s) in %d trace-pure batch(es) over "
+            "%d worker(s)",
+            len(jobs), len(batches), workers,
         )
+        if with_tel:
+            tele.inc("campaign.batches", len(batches))
         if workers <= 1 or len(jobs) <= 2:
-            for job in jobs:
-                deliver(*_run_one(job, with_telemetry=with_tel))
+            for batch in batches:
+                for spec, score, report in run_batch_report(
+                    batch, with_telemetry=with_tel
+                ):
+                    deliver(spec, score, report)
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
-                    pool.submit(_run_one, job, with_telemetry=with_tel)
-                    for job in jobs
+                    pool.submit(run_batch_report, batch, with_telemetry=with_tel)
+                    for batch in batches
                 ]
                 for future in as_completed(futures):
-                    deliver(*future.result())
+                    for spec, score, report in future.result():
+                        deliver(spec, score, report)
 
     def map_tasks(self, fn: Callable, payloads: Sequence) -> list:
         """Order-preserving process-pool map (serial for tiny batches)."""

@@ -54,11 +54,19 @@ __all__ = [
     "QueueVersionError",
     "DEFAULT_LEASE_TTL",
     "DEFAULT_MAX_ATTEMPTS",
+    "LEASE_GRANULARITY",
     "sanitize_id",
 ]
 
 DEFAULT_LEASE_TTL = 300.0
 DEFAULT_MAX_ATTEMPTS = 3
+
+#: Slack added to the lease TTL when judging heartbeat staleness.  Lease
+#: heartbeats are mtime stamps, and filesystems may round mtimes to
+#: whole seconds (FAT: two) -- without the slack a freshly renewed lease
+#: whose stored mtime rounded *down* can look older than the TTL and be
+#: stolen from a live worker.
+LEASE_GRANULARITY = 2.0
 
 _SAFE = re.compile(r"[^A-Za-z0-9_-]+")
 
@@ -297,14 +305,22 @@ class FsQueue:
         lease_ttl: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         now: float | None = None,
+        granularity: float | None = None,
     ) -> list[tuple[str, int, str]]:
         """Re-queue (or fail) claimed shards whose heartbeat went stale.
+
+        A lease only counts as stale once its mtime age exceeds
+        ``lease_ttl`` **plus** ``granularity`` (default
+        :data:`LEASE_GRANULARITY`), so coarse filesystem mtime rounding
+        can never make a freshly heartbeated shard look abandoned.
 
         Returns ``(shard_id, next_attempt, disposition)`` tuples where
         disposition is ``"requeued"`` or ``"failed"``.
         """
         if lease_ttl is None:
             lease_ttl = float(self.read_meta().get("lease_ttl", DEFAULT_LEASE_TTL))
+        if granularity is None:
+            granularity = LEASE_GRANULARITY
         if now is None:
             now = time.time()
         claimed = self._dir("claimed")
@@ -323,7 +339,7 @@ class FsQueue:
                 age = now - os.stat(path).st_mtime
             except FileNotFoundError:
                 continue  # completed between listdir and stat
-            if age <= lease_ttl:
+            if age <= lease_ttl + granularity:
                 continue
             next_attempt = attempt + 1
             if next_attempt >= max_attempts:

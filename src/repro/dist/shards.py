@@ -15,7 +15,11 @@ mechanism is active (EXPIRE storms); those ratios are exactly what
 ``BENCH_engine.json`` measures on every CI run, so the planner seeds its
 cost model from the benchmark report when one is available and falls
 back to calibrated constants otherwise.  Cells are then distributed with
-the classic LPT (longest processing time first) greedy heuristic.
+the classic LPT (longest processing time first) greedy heuristic --
+applied to **trace-pure chunks** rather than single cells, so every
+shard keeps same-trace cells together and the worker's shared
+:class:`repro.core.batch.BundleCache` pays each trace materialisation
+once per shard instead of once per cell.
 
 Shard manifests -- the JSON documents enqueued for workers -- carry each
 cell in its canonical spec encoding plus the coordinator's
@@ -32,7 +36,11 @@ import os
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+from ..core.batch import workload_key
+from ..obs import get_logger
 from ..spec import SPEC_VERSION, CellSpec
+
+_log = get_logger("dist.shards")
 
 __all__ = [
     "Shard",
@@ -53,13 +61,19 @@ class Shard:
     shard_id: str
     cells: tuple[CellSpec, ...]
     est_cost: float
+    #: distinct trace-identity keys (canonical workload JSON, see
+    #: :func:`repro.core.batch.workload_key`) in shard cell order --
+    #: how many traces a worker materialises to run this shard.
+    trace_keys: tuple[str, ...] = ()
 
     def manifest(self) -> dict:
         """The JSON document enqueued for workers.
 
         Each cell travels in its canonical spec form -- everything a
         worker needs to recompute the cache token and run the cell, with
-        no side-channel campaign config.
+        no side-channel campaign config.  ``trace_keys`` names the
+        shard's trace-identity groups so workers (and humans reading the
+        queue) see the batching structure without re-deriving it.
         """
         from ..core.campaign import CACHE_VERSION
         from ..sim.engine import ENGINE_VERSION
@@ -68,6 +82,7 @@ class Shard:
             "shard_id": self.shard_id,
             "cells": [cell.to_obj() for cell in self.cells],
             "est_cost": round(self.est_cost, 4),
+            "trace_keys": list(self.trace_keys),
             "cache_version": CACHE_VERSION,
             "engine_version": ENGINE_VERSION,
             "spec_version": SPEC_VERSION,
@@ -127,6 +142,12 @@ def load_bench_cost_model(path: str | None = None) -> CellCostModel:
             n_jobs = scenario.get("trace", {}).get("n_jobs")
             seconds = scenario.get("profile_seconds")
             if not n_jobs or not seconds or seconds <= 0:
+                _log.warning(
+                    "bench cost seeding: scenario %r in %s has unusable "
+                    "n_jobs=%r / profile_seconds=%r; using the "
+                    "scheduler-weight default for it",
+                    scenario.get("scenario", "<unnamed>"), path, n_jobs, seconds,
+                )
                 continue
             per_job[scenario.get("scenario", "")] = float(seconds) / float(n_jobs)
         weights = dict(default.scheduler_weights)
@@ -154,14 +175,21 @@ def plan_shards(
     prefix: str = "shard",
     cells_per_shard: int = DEFAULT_CELLS_PER_SHARD,
 ) -> list[Shard]:
-    """Partition ``cells`` into cost-balanced shards.
+    """Partition ``cells`` into cost-balanced, trace-grouped shards.
 
     ``n_shards`` fixes the shard count; by default it is derived from
-    ``cells_per_shard``.  Cells are sorted by descending estimated cost
-    and assigned greedily to the least-loaded shard (LPT), which is
-    within 4/3 of the optimal makespan.  Deterministic: the same inputs
-    always produce the same shards, and cells inside a shard are emitted
-    in campaign order so workers warm per-workload trace caches.
+    ``cells_per_shard``.  Cells are first grouped by trace identity
+    (:func:`repro.core.batch.workload_key`) and each group split into
+    consecutive chunks small enough to keep the pool balanced; the
+    chunks are then sorted by descending estimated cost and assigned
+    greedily to the least-loaded shard (LPT, within 4/3 of the optimal
+    makespan).  Same-trace cells therefore land adjacently in one shard
+    whenever balance allows, so the worker's shared bundle cache pays
+    each trace materialisation once per chunk.  When every cell has a
+    distinct trace (chunks are all singletons) the plan is exactly the
+    classic per-cell LPT.  Deterministic: the same inputs always produce
+    the same shards, and cells inside a shard are emitted in campaign
+    order within each group.
     """
     cells = list(cells)
     if not cells:
@@ -172,20 +200,40 @@ def plan_shards(
         n_shards = max(1, (len(cells) + cells_per_shard - 1) // cells_per_shard)
     n_shards = min(n_shards, len(cells))
 
-    costed = sorted(
-        ((cost_model.cell_cost(cell), position, cell)
-         for position, cell in enumerate(cells)),
-        key=lambda item: (-item[0], item[1]),
+    # trace-pure chunks: consecutive same-trace runs capped so that no
+    # chunk exceeds the per-shard granularity or starves other shards
+    groups: dict[str, list[tuple[int, CellSpec]]] = {}
+    group_order: list[str] = []
+    for position, cell in enumerate(cells):
+        key = workload_key(cell.workload)
+        if key not in groups:
+            groups[key] = []
+            group_order.append(key)
+        groups[key].append((position, cell))
+    chunk_cap = max(
+        1, min(cells_per_shard, -(-len(cells) // n_shards))
     )
+    chunks: list[tuple[float, int, str, list[tuple[int, CellSpec]]]] = []
+    for key in group_order:
+        members = groups[key]
+        for start in range(0, len(members), chunk_cap):
+            chunk = members[start : start + chunk_cap]
+            cost = sum(cost_model.cell_cost(cell) for _, cell in chunk)
+            chunks.append((cost, chunk[0][0], key, chunk))
+    n_shards = min(n_shards, len(chunks))
+
+    costed = sorted(chunks, key=lambda item: (-item[0], item[1]))
     # (load, shard_index) min-heap; ties resolve to the lowest index so
     # the plan is stable across runs and platforms.
     heap: list[tuple[float, int]] = [(0.0, idx) for idx in range(n_shards)]
     heapq.heapify(heap)
-    buckets: list[list[tuple[int, CellSpec]]] = [[] for _ in range(n_shards)]
+    buckets: list[list[tuple[int, str, list[tuple[int, CellSpec]]]]] = [
+        [] for _ in range(n_shards)
+    ]
     loads = [0.0] * n_shards
-    for cost, position, cell in costed:
+    for cost, first_position, key, chunk in costed:
         load, idx = heapq.heappop(heap)
-        buckets[idx].append((position, cell))
+        buckets[idx].append((first_position, key, chunk))
         loads[idx] = load + cost
         heapq.heappush(heap, (loads[idx], idx))
 
@@ -194,12 +242,21 @@ def plan_shards(
     for idx, bucket in enumerate(buckets):
         if not bucket:
             continue
+        # chunk-major, chunks by campaign position of their first cell:
+        # singleton chunks reproduce the classic campaign-order emit
         bucket.sort(key=lambda item: item[0])
+        shard_cells: list[CellSpec] = []
+        trace_keys: list[str] = []
+        for _first, key, chunk in bucket:
+            if key not in trace_keys:
+                trace_keys.append(key)
+            shard_cells.extend(cell for _, cell in chunk)
         shards.append(
             Shard(
                 shard_id=f"{prefix}-{idx:0{width}d}",
-                cells=tuple(cell for _, cell in bucket),
+                cells=tuple(shard_cells),
                 est_cost=loads[idx],
+                trace_keys=tuple(trace_keys),
             )
         )
     return shards

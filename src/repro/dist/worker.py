@@ -274,7 +274,14 @@ def _run_shard(
     heartbeat_interval: float = DEFAULT_LEASE_TTL / 4.0,
     telemetry: Telemetry = NOOP,
 ) -> None:
-    """Simulate one claimed shard; never raises on a lost lease."""
+    """Simulate one claimed shard; never raises on a lost lease.
+
+    Cells run group-major by trace identity: the planner already emits
+    trace-grouped shards, and regrouping here also batches manifests
+    from older planners, so each shard pays one trace materialisation
+    per group through the process-shared bundle cache.
+    """
+    from ..core.batch import group_cells
     from ..core.campaign import ResultCache, cell_token
     from ..spec import SPEC_VERSION, CellSpec
 
@@ -288,13 +295,18 @@ def _run_shard(
             f"{shard_spec_version!r}, this worker speaks {SPEC_VERSION}"
         )
     cells = [CellSpec.from_obj(cell) for cell in manifest["cells"]]
+    grouped = group_cells(cells)
     telemetry.inc("worker.claims")
     telemetry.event(
-        "claim", shard=lease.shard_id, attempt=lease.attempt, cells=len(cells)
+        "claim",
+        shard=lease.shard_id,
+        attempt=lease.attempt,
+        cells=len(cells),
+        trace_groups=len(grouped),
     )
     _log.debug(
-        "claimed shard %s (attempt %d, %d cells)",
-        lease.shard_id, lease.attempt, len(cells),
+        "claimed shard %s (attempt %d, %d cells in %d trace group(s))",
+        lease.shard_id, lease.attempt, len(cells), len(grouped),
     )
     progress.emit(
         {
@@ -302,6 +314,7 @@ def _run_shard(
             "shard": lease.shard_id,
             "attempt": lease.attempt,
             "cells": len(cells),
+            "trace_groups": len(grouped),
         }
     )
     # Earlier attempts may have proved some cells before dying: harvest
@@ -317,7 +330,7 @@ def _run_shard(
     heartbeat = _Heartbeat(queue, lease, heartbeat_interval, telemetry=telemetry)
     heartbeat.start()
     try:
-        for spec in cells:
+        for spec in (spec for _key, group in grouped for spec in group):
             if heartbeat.lost:
                 raise LeaseLost(f"lease on {lease.shard_id} re-queued mid-shard")
             token = cell_token(spec)

@@ -22,6 +22,8 @@ Design notes:
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
 
 from ..sim.results import JobRecord
@@ -57,14 +59,33 @@ class MLPredictor(Predictor):
         )
         #: submission-time basis vectors awaiting their completion label.
         self._pending: dict[int, np.ndarray] = {}
+        #: job_id -> precomputed static feature row (shared, read-only).
+        self._static_rows: Mapping[int, np.ndarray] | None = None
         #: cumulative training loss (seconds-based), for diagnostics.
         self.cumulative_loss = 0.0
         self.n_updates = 0
 
+    def bind_static_features(self, rows: Mapping[int, np.ndarray] | None) -> None:
+        """Attach a shared table of precomputed static feature rows.
+
+        Batched campaign runs compute the schedule-independent feature
+        columns once per trace (:meth:`repro.core.batch.TraceBundle
+        .static_rows`) and bind the table to every predictor replaying
+        that trace.  Rows are read-only, keyed by job id, and only valid
+        for submission-time prediction of that exact trace; jobs without
+        a row fall back to live extraction.  ``None`` unbinds.
+        """
+        self._static_rows = rows
+
     # -- Predictor protocol ----------------------------------------------------
     def predict(self, record: JobRecord, now: float) -> float:
         job = record.job
-        phi = self._basis.expand(extract_features(job, self._tracker, now))
+        static = (
+            None if self._static_rows is None else self._static_rows.get(job.job_id)
+        )
+        phi = self._basis.expand(
+            extract_features(job, self._tracker, now, static=static)
+        )
         self._tracker.on_submit(job, now)
         self._pending[job.job_id] = phi
         raw = self._optimizer.predict(phi) * self.target_scale
@@ -73,7 +94,9 @@ class MLPredictor(Predictor):
     def estimate(self, record: JobRecord, now: float) -> float:
         # read-only twin of predict(): the features are extracted against
         # the current user history but no submission is registered and no
-        # pending label slot is created
+        # pending label slot is created.  Never consults the bound static
+        # rows -- probes may run at a different `now` than the submit time
+        # the precomputed day/week angles assume.
         job = record.job
         phi = self._basis.expand(extract_features(job, self._tracker, now))
         raw = self._optimizer.predict(phi) * self.target_scale

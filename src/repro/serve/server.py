@@ -182,6 +182,19 @@ class SessionServer:
                 tele.inc(f"serve.requests.{cmd}")
             _log.debug("request %r failed: %s", cmd, exc)
             return {"ok": False, "cmd": cmd, "error": str(exc)}
+        except Exception as exc:
+            # a malformed or adversarial request must never tear down the
+            # session: answer with a structured error and keep serving
+            self.stats.n_errors += 1
+            if tele.enabled:
+                tele.inc("serve.errors")
+                tele.inc(f"serve.requests.{cmd}")
+            _log.exception("request %r raised unexpectedly", cmd)
+            return {
+                "ok": False,
+                "cmd": str(cmd),
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
         if tele.enabled:
             tele.inc(f"serve.requests.{cmd}")
             tele.observe("serve.request.seconds", _time.perf_counter() - t0)
@@ -334,7 +347,19 @@ def serve_loop(
         response = server.handle_line(line)
         if response is None:
             continue
-        out_stream.write(json.dumps(response) + "\n")
+        try:
+            encoded = json.dumps(response)
+        except (TypeError, ValueError):
+            # a response that cannot serialise (e.g. a request smuggled a
+            # non-JSON value into the echo fields) still gets a structured
+            # answer instead of tearing down the loop
+            server.stats.n_errors += 1
+            server.telemetry.inc("serve.errors")
+            _log.exception("response for %r not serialisable", line.strip()[:200])
+            encoded = json.dumps(
+                {"ok": False, "error": "internal error: unserialisable response"}
+            )
+        out_stream.write(encoded + "\n")
         out_stream.flush()
         if server.closed:
             break

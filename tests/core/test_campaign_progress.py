@@ -13,6 +13,7 @@ These pin the PR's campaign-throughput guarantees:
 import pytest
 
 import repro.core.campaign as campaign_mod
+import repro.core.run as run_mod
 from repro.core import (
     CampaignConfig,
     HeuristicTriple,
@@ -55,7 +56,7 @@ class TestWarmCache:
         def boom(spec, with_telemetry=False):
             raise AssertionError(f"simulation dispatched for {spec}")
 
-        monkeypatch.setattr(campaign_mod, "_run_one", boom)
+        monkeypatch.setattr(run_mod, "run_cell_report", boom)
         again = run_campaign(
             CONFIG, cache_path=str(cache), workers=1, triples=TRIPLES
         )
@@ -72,13 +73,13 @@ class TestWarmCache:
         partial.write_text("\n".join(kept) + '\n{"token": "torn-wr')
 
         calls = []
-        real = campaign_mod._run_one
+        real = run_mod.run_cell_report
 
         def counting(spec, with_telemetry=False):
             calls.append(spec)
             return real(spec, with_telemetry=with_telemetry)
 
-        monkeypatch.setattr(campaign_mod, "_run_one", counting)
+        monkeypatch.setattr(run_mod, "run_cell_report", counting)
         resumed = run_campaign(
             CONFIG, cache_path=str(partial), workers=1, triples=TRIPLES
         )
@@ -91,13 +92,13 @@ class TestWarmCache:
         monkeypatch.setattr(campaign_mod, "ENGINE_VERSION", 9999)
 
         calls = []
-        real = campaign_mod._run_one
+        real = run_mod.run_cell_report
 
         def counting(spec, with_telemetry=False):
             calls.append(spec)
             return real(spec, with_telemetry=with_telemetry)
 
-        monkeypatch.setattr(campaign_mod, "_run_one", counting)
+        monkeypatch.setattr(run_mod, "run_cell_report", counting)
         run_campaign(CONFIG, cache_path=str(cache), workers=1, triples=TRIPLES)
         assert len(calls) == len(TRIPLES) * CONFIG.replicas
 

@@ -142,6 +142,47 @@ class TestLeaseLifecycle:
         queue.claim("w1")
         assert queue.requeue_expired(lease_ttl=60.0) == []
 
+    def test_coarse_mtime_heartbeat_not_stolen(self, queue):
+        """Regression: on a filesystem that rounds mtimes down to whole
+        (or two-second) granularity, a freshly heartbeated lease can
+        look just-past-TTL under a raw ``age <= lease_ttl`` check and be
+        stolen from a live worker.  The granularity slack must keep it."""
+        import time as _time
+
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        queue.renew(lease)  # heartbeat "now"...
+        now = _time.time()
+        # ...but the filesystem stored it rounded down two whole seconds
+        coarse = float(int(now) - 2)
+        os.utime(lease.path, (coarse, coarse))
+        assert queue.requeue_expired(lease_ttl=1.0, now=now) == []
+        queue.renew(lease)  # lease still live; worker keeps going
+
+    def test_zero_granularity_restores_raw_comparison(self, queue):
+        """The same coarse-rounded heartbeat IS treated as stale when the
+        caller explicitly disables the slack -- pinning that the default
+        tolerance is what protects it."""
+        import time as _time
+
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        now = _time.time()
+        coarse = float(int(now) - 2)
+        os.utime(lease.path, (coarse, coarse))
+        moved = queue.requeue_expired(lease_ttl=1.0, now=now, granularity=0.0)
+        assert moved == [("s-a", 1, "requeued")]
+
+    def test_genuinely_stale_lease_still_requeued_past_slack(self, queue):
+        import time as _time
+
+        queue.enqueue(spec_for("s-a"))
+        lease = queue.claim("w1")
+        now = _time.time()
+        os.utime(lease.path, (now - 10.0, now - 10.0))
+        moved = queue.requeue_expired(lease_ttl=1.0, now=now)
+        assert moved == [("s-a", 1, "requeued")]
+
     def test_attempts_exhausted_goes_to_failed(self, queue):
         queue.enqueue(spec_for("s-a"), attempt=2)
         lease = queue.claim("w1")

@@ -90,6 +90,45 @@ class TestBenchSeeding:
         path.write_text("{not json")
         assert load_bench_cost_model(str(path)).source == "defaults"
 
+    def test_unusable_scenario_warns_and_falls_back(
+        self, tmp_path, caplog, monkeypatch
+    ):
+        """Regression: a scenario with missing/zero n_jobs or seconds
+        used to be dropped silently, degrading LPT balance with no clue
+        why.  It must warn naming the scenario and keep the default
+        weight for it."""
+        import logging
+
+        # setup_logging() (run by CLI tests) stops propagation at the
+        # "repro" logger; re-enable it so caplog sees the warning
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        report = {
+            "scenarios": [
+                {"scenario": "easy/wide", "profile_seconds": 1.0,
+                 "trace": {"n_jobs": 0}},
+                {"scenario": "easy-sjbf/wide", "profile_seconds": 2.0,
+                 "trace": {"n_jobs": 1000}},
+                {"scenario": "conservative/narrow", "profile_seconds": 0,
+                 "trace": {"n_jobs": 1000}},
+            ]
+        }
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps(report))
+        with caplog.at_level("WARNING", logger="repro.dist.shards"):
+            model = load_bench_cost_model(str(path))
+        dropped = [rec.message for rec in caplog.records]
+        assert any("easy/wide" in msg for msg in dropped)
+        assert any("conservative/narrow" in msg for msg in dropped)
+        default = CellCostModel()
+        # the unusable scenarios keep their calibrated defaults...
+        assert model.scheduler_weights["easy"] == default.scheduler_weights["easy"]
+        assert (
+            model.scheduler_weights["conservative"]
+            == default.scheduler_weights["conservative"]
+        )
+        # ...while the good one still seeds from the report
+        assert model.scheduler_weights["easy-sjbf"] == 0.002
+
     def test_repo_bench_report_parses(self):
         # the CI artifact (when present) must keep seeding the planner
         import os
@@ -159,3 +198,61 @@ class TestPlanShards:
         small = cell("KTH-SP2", "requested|none|easy", 2, n_jobs=100)
         model = CellCostModel()
         assert model.cell_cost(big) == 40 * model.cell_cost(small)
+
+
+class TestTraceGrouping:
+    """Same-trace cells must land adjacently in one shard (batch unlock)."""
+
+    def shared_trace_cells(self):
+        """2 trace identities x 4 triples = the shape of a real campaign."""
+        keys = [
+            "requested|none|easy",
+            "requested|none|easy-sjbf",
+            "ave2|incremental|easy-sjbf",
+            "clairvoyant|none|easy",
+        ]
+        return [
+            cell("KTH-SP2", key, seed, n_jobs=200)
+            for seed in (1, 2)
+            for key in keys
+        ]
+
+    def test_shards_are_trace_pure_when_balance_allows(self):
+        shards = plan_shards(self.shared_trace_cells(), cells_per_shard=4)
+        assert len(shards) == 2
+        for shard in shards:
+            assert len(shard.trace_keys) == 1
+            workload_objs = {
+                json.dumps(c.workload.to_obj(), sort_keys=True)
+                for c in shard.cells
+            }
+            assert len(workload_objs) == 1
+
+    def test_manifest_carries_trace_keys(self):
+        from repro.core.batch import workload_key
+
+        shards = plan_shards(self.shared_trace_cells(), cells_per_shard=4)
+        for shard in shards:
+            manifest = shard.manifest()
+            assert manifest["trace_keys"] == list(shard.trace_keys)
+            assert manifest["trace_keys"] == [
+                workload_key(shard.cells[0].workload)
+            ]
+
+    def test_oversized_group_splits_but_stays_grouped(self):
+        cells = self.shared_trace_cells()  # 2 groups of 4
+        shards = plan_shards(cells, n_shards=4)
+        assert len(shards) == 4
+        # every shard still holds cells of exactly one trace
+        assert all(len(shard.trace_keys) == 1 for shard in shards)
+        flat = [c.digest() for shard in shards for c in shard.cells]
+        assert sorted(flat) == sorted(c.digest() for c in cells)
+
+    def test_singleton_groups_degrade_to_classic_lpt(self):
+        """Distinct-trace campaigns (the pre-batching shape) must plan
+        exactly as before: chunking cannot change singleton-group LPT."""
+        shards = plan_shards(cells_for(30), n_shards=4)
+        assert len(shards) == 4
+        assert all(len(shard.trace_keys) == len(shard.cells) for shard in shards)
+        costs = [shard.est_cost for shard in shards]
+        assert max(costs) <= 2.0 * min(costs)

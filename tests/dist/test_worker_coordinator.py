@@ -112,6 +112,45 @@ class TestTwoWorkerCampaign:
         assert all(count > 0 for count in shards)
 
 
+class TestGroupedShardCampaign:
+    """Trace-pure (grouped) shards through the fsqueue path must merge
+    byte-identical to the single-host canonical cache -- batching is an
+    execution detail, never a result detail."""
+
+    def test_grouped_shards_merge_identical_to_single_host(
+        self, tmp_path, single_host
+    ):
+        reference, reference_bytes = single_host
+        # the campaign's 8 cells form 2 trace groups (2 replica seeds x
+        # 4 triples); cells_per_shard=4 lets the planner emit exactly
+        # one trace-pure shard per group
+        cells = CONFIG.cell_specs(TRIPLES)
+        from repro.dist import plan_shards
+
+        planned = plan_shards(cells, cells_per_shard=4)
+        assert len(planned) == 2
+        assert all(len(shard.trace_keys) == 1 for shard in planned)
+
+        qdir = str(tmp_path / "q")
+        cache = str(tmp_path / "cache.jsonl")
+        threads = [start_worker(qdir, f"w{i}")[0] for i in range(2)]
+        broker = FsQueueBroker(
+            qdir, cells_per_shard=4, lease_ttl=60.0, poll_interval=0.05,
+            timeout=300.0,
+        )
+        result = run_campaign(
+            CONFIG, cache_path=cache, triples=TRIPLES, backend=broker
+        )
+        for thread in threads:
+            thread.join(timeout=60)
+        assert result.scores == reference.scores
+
+        canonical = str(tmp_path / "canonical.jsonl")
+        merge_caches([cache], out_path=canonical)
+        with open(canonical, "rb") as fh:
+            assert fh.read() == reference_bytes
+
+
 class TestCrashRecovery:
     def test_killed_worker_and_coordinator_restart(self, tmp_path, single_host):
         """A worker dies mid-shard; its lease expires; the campaign is

@@ -189,6 +189,68 @@ class TestServeLoop:
         assert stats.n_errors == 1
 
 
+class TestGarbageMidStream:
+    """Torn or adversarial JSONL mid-stream must answer with a
+    structured error line and leave the session fully alive -- the loop
+    may never tear down over one bad client write."""
+
+    def serve(self, raw: str):
+        session = build_serve_session(8)
+        out = io.StringIO()
+        stats = serve_loop(session, io.StringIO(raw), out)
+        return stats, [json.loads(line) for line in out.getvalue().splitlines()]
+
+    def test_garbage_between_valid_requests_keeps_session_alive(self):
+        raw = "\n".join(
+            [
+                json.dumps(
+                    {"cmd": "submit", "job": job_payload(1), "advance": True}
+                ),
+                '{"cmd": "submit", "job": {"job_id',  # torn mid-write
+                "total garbage",
+                json.dumps({"cmd": "query", "weird": True}),  # no job_id/job
+                json.dumps({"cmd": "query", "job_id": 1}),
+                json.dumps({"cmd": "quit"}),
+            ]
+        ) + "\n"
+        stats, responses = self.serve(raw)
+        assert len(responses) == 6  # one response per non-blank line
+        assert [r["ok"] for r in responses] == [
+            True, False, False, False, True, True,
+        ]
+        assert all("error" in bad for bad in responses[1:4])
+        # the valid query after the garbage still answers about job 1
+        assert responses[4]["job_id"] == 1
+        assert stats.n_errors == 3
+
+    def test_unexpected_handler_exception_answers_structured_error(
+        self, monkeypatch
+    ):
+        server = make_server()
+
+        def boom(request):
+            raise RuntimeError("wires crossed")
+
+        monkeypatch.setattr(server, "_cmd_snapshot", boom)
+        response = server.handle({"cmd": "snapshot"})
+        assert response["ok"] is False
+        assert response["cmd"] == "snapshot"
+        assert "internal error: RuntimeError: wires crossed" in response["error"]
+        assert server.handle({"cmd": "ping"})["ok"]  # session survives
+        assert server.stats.n_errors == 1
+
+    def test_unserialisable_response_replaced_not_fatal(self, monkeypatch):
+        monkeypatch.setattr(
+            SessionServer, "_cmd_ping", lambda self, request: {"pong": {1, 2}}
+        )
+        raw = json.dumps({"cmd": "ping"}) + "\n" + json.dumps({"cmd": "quit"}) + "\n"
+        stats, responses = self.serve(raw)
+        assert responses[0]["ok"] is False
+        assert "unserialisable" in responses[0]["error"]
+        assert responses[1]["ok"] is True  # quit still served; loop intact
+        assert stats.n_errors == 1
+
+
 class TestServedParityWithBatch:
     """Conservative + clairvoyant: the served query at submit time must
     equal the start time an equivalent batch run produces (runtimes are

@@ -127,8 +127,6 @@ class TestResultCacheLegacyRows:
     def test_warm_campaign_from_legacy_cache_runs_zero_sims(self, tmp_path, monkeypatch):
         """The acceptance scenario: a cache written before the redesign
         still warm-loads the redesigned campaign end to end."""
-        import repro.core.campaign as campaign_mod
-
         path = tmp_path / "legacy.jsonl"
         seed = CONFIG.seeds_for("KTH-SP2")[0]
         # first run the real campaign to learn the true scores...
@@ -148,7 +146,9 @@ class TestResultCacheLegacyRows:
         def boom(_spec, with_telemetry=False):
             raise AssertionError("a warm legacy cache must not simulate")
 
-        monkeypatch.setattr(campaign_mod, "_run_one", boom)
+        import repro.core.run as run_mod
+
+        monkeypatch.setattr(run_mod, "run_cell_report", boom)
         result = run_campaign(
             CONFIG, cache_path=str(path), triples=TRIPLES, workers=1
         )

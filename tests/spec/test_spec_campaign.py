@@ -66,14 +66,14 @@ class TestSpecCampaignEquivalence:
     def test_shares_cache_with_legacy_path(self, legacy_result, monkeypatch):
         """Spec-file cells hit the very same cache rows the legacy
         campaign wrote -- zero simulations on a warm legacy cache."""
-        import repro.core.campaign as campaign_mod
+        import repro.core.run as run_mod
 
         _, cache = legacy_result
 
         def boom(_spec, with_telemetry=False):
             raise AssertionError("warm spec campaign must not simulate")
 
-        monkeypatch.setattr(campaign_mod, "_run_one", boom)
+        monkeypatch.setattr(run_mod, "run_cell_report", boom)
         cells = expand_spec_obj(SPEC_DOC)
         result = run_cells(cells, cache_path=str(cache), workers=1)
         assert len(result.scores) == len(cells)
